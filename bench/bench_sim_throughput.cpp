@@ -1,0 +1,83 @@
+// Simulator micro-benchmarks (google-benchmark): cycles/second of the full
+// GPU model and of the hot substrate components.  Not a paper figure —
+// this tracks the cost of running the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "gpu/simulator.hpp"
+#include "kernels/app_registry.hpp"
+#include "mem/dram.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+void BM_FullGpuCycle(benchmark::State& state) {
+  GpuConfig cfg;
+  Simulation sim(cfg, {AppLaunch{*find_app("VA"), 42},
+                       AppLaunch{*find_app("SD"), 43}});
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  sim.run(20'000);  // warm up
+  for (auto _ : state) {
+    sim.run(1'000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1'000),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullGpuCycle)->Unit(benchmark::kMillisecond);
+
+void BM_MemoryControllerSaturated(benchmark::State& state) {
+  GpuConfig cfg;
+  MemoryController mc(cfg, 2);
+  Rng rng(7);
+  std::vector<DramCmd> done;
+  Cycle now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1'000; ++i, ++now) {
+      while (!mc.queue_full()) {
+        DramCmd c;
+        c.app = static_cast<AppId>(rng.next_below(2));
+        c.bank = static_cast<int>(rng.next_below(16));
+        c.row = rng.next_below(1 << 16);
+        c.enqueued = now;
+        mc.try_enqueue(c);
+      }
+      done.clear();
+      mc.cycle(now, done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_MemoryControllerSaturated)->Unit(benchmark::kMicrosecond);
+
+void BM_CacheAccess(benchmark::State& state) {
+  GpuConfig cfg;
+  SetAssocCache cache(cfg.l2_num_sets(), cfg.l2_assoc, cfg.line_bytes);
+  Rng rng(9);
+  const u64 lines = static_cast<u64>(cfg.l2_num_sets()) * cfg.l2_assoc * 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(rng.next_below(lines) * cfg.line_bytes, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_AloneRunVA(benchmark::State& state) {
+  GpuConfig cfg;
+  for (auto _ : state) {
+    Simulation sim(cfg, {AppLaunch{*find_app("VA"), 42}});
+    sim.gpu().set_partition(even_partition(cfg.num_sms, 1));
+    sim.run(10'000);
+    benchmark::DoNotOptimize(sim.gpu().instructions().total(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_AloneRunVA)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

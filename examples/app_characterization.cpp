@@ -1,0 +1,72 @@
+// Characterise every registered application running alone on the full GPU:
+// IPC, DRAM bandwidth utilisation (vs. its Table III target), row-buffer
+// hit rate, L2 hit rate and the memory stall fraction α.
+//
+// Useful both as an API example and as the calibration companion for the
+// synthetic workload substitution documented in DESIGN.md.
+#include <iostream>
+
+#include "gpu/simulator.hpp"
+#include "harness/runner.hpp"
+#include "harness/table_printer.hpp"
+#include "kernels/app_registry.hpp"
+
+int main() {
+  using namespace gpusim;
+
+  const Cycle cycles = cycles_from_env("REPRO_CORUN_CYCLES", 200'000);
+  GpuConfig cfg;
+
+  TablePrinter table({"app", "IPC", "BW_util", "Table3", "rowhit", "L2hit",
+                      "alpha", "req/kcyc"},
+                     10);
+  table.print_header();
+
+  for (const KernelProfile& profile : app_registry()) {
+    Simulation sim(cfg, {AppLaunch{profile, 42}});
+    Gpu& gpu = sim.gpu();
+    gpu.set_partition(even_partition(gpu.num_sms(), 1));
+    sim.run(cycles);
+
+    u64 data_cycles = 0;
+    u64 served = 0;
+    u64 row_hits = 0;
+    u64 row_misses = 0;
+    u64 l2_acc = 0;
+    u64 l2_hit = 0;
+    for (int p = 0; p < gpu.num_partitions(); ++p) {
+      const McCounters& mcc = gpu.partition(p).mc().counters();
+      data_cycles += mcc.bus_data_cycles.total(0);
+      served += mcc.requests_served.total(0);
+      row_hits += mcc.row_hits.total(0);
+      row_misses += mcc.row_misses.total(0);
+      l2_acc += gpu.partition(p).counters().l2_accesses.total(0);
+      l2_hit += gpu.partition(p).counters().l2_hits.total(0);
+    }
+    u64 stall = 0;
+    for (int s = 0; s < gpu.num_sms(); ++s) {
+      stall += gpu.sm(s).counters().mem_stall_cycles.total();
+    }
+    const double capacity =
+        static_cast<double>(gpu.num_partitions()) * gpu.now();
+    const double ipc =
+        static_cast<double>(gpu.instructions().total(0)) / gpu.now();
+    const double bw = data_cycles / capacity;
+    const double rowhit =
+        row_hits + row_misses > 0
+            ? static_cast<double>(row_hits) / (row_hits + row_misses)
+            : 0.0;
+    const double l2 =
+        l2_acc > 0 ? static_cast<double>(l2_hit) / l2_acc : 0.0;
+    const double alpha = static_cast<double>(stall) /
+                         (static_cast<double>(gpu.num_sms()) * gpu.now());
+
+    table.print_row(profile.abbr, TablePrinter::num(ipc, 2),
+                    TablePrinter::pct(bw, 0),
+                    TablePrinter::pct(profile.table3_bw_util, 0),
+                    TablePrinter::pct(rowhit, 0), TablePrinter::pct(l2, 0),
+                    TablePrinter::num(alpha, 2),
+                    TablePrinter::num(1000.0 * served / gpu.now(), 0));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: run two applications concurrently under an even SM split,
+// estimate their slowdowns with DASE at run time, then compare against the
+// measured actual slowdowns (alone-replay methodology).
+//
+//   ./quickstart [appA] [appB]      (default: SD SA — the paper's Fig. 2 pair)
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/runner.hpp"
+#include "harness/table_printer.hpp"
+#include "kernels/app_registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpusim;
+
+  const std::string a = argc > 1 ? argv[1] : "SD";
+  const std::string b = argc > 2 ? argv[2] : "SA";
+  const auto app_a = find_app(a);
+  const auto app_b = find_app(b);
+  if (!app_a || !app_b) {
+    std::cerr << "unknown application; available:";
+    for (const auto& app : app_registry()) std::cerr << ' ' << app.abbr;
+    std::cerr << '\n';
+    return EXIT_FAILURE;
+  }
+
+  RunConfig rc;
+  rc.co_run_cycles = cycles_from_env("REPRO_CORUN_CYCLES", 300'000);
+
+  std::cout << "Co-running " << a << " + " << b << " on a "
+            << rc.gpu.num_sms << "-SM GPU for " << rc.co_run_cycles
+            << " cycles (even split), DASE sampling every "
+            << rc.gpu.estimation_interval << " cycles...\n\n";
+
+  ExperimentRunner runner(rc);
+  const CoRunResult result =
+      runner.run(Workload{{*app_a, *app_b}}, ModelSet{.dase = true});
+
+  TablePrinter table({"app", "IPC_shared", "IPC_alone", "actual", "DASE",
+                      "error"});
+  table.print_header();
+  for (const AppResult& app : result.apps) {
+    table.print_row(app.abbr, TablePrinter::num(app.ipc_shared, 3),
+                    TablePrinter::num(app.ipc_alone, 3),
+                    TablePrinter::num(app.actual_slowdown, 2),
+                    TablePrinter::num(app.estimates.at("DASE"), 2),
+                    TablePrinter::pct(app.estimation_error_of("DASE")));
+  }
+  std::cout << "\nUnfairness (actual): "
+            << TablePrinter::num(result.unfairness, 2)
+            << "   Harmonic speedup: "
+            << TablePrinter::num(result.harmonic_speedup, 3) << '\n';
+  std::cout << "DRAM bandwidth: ";
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    std::cout << result.apps[i].abbr << '='
+              << TablePrinter::pct(result.app_bw_share[i]) << ' ';
+  }
+  std::cout << "wasted=" << TablePrinter::pct(result.wasted_bw_share)
+            << " idle=" << TablePrinter::pct(result.idle_bw_share) << '\n';
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,64 @@
+#include "baselines/asm_model.hpp"
+
+#include <algorithm>
+
+namespace gpusim {
+
+std::vector<SlowdownEstimate> AsmModel::estimate(const IntervalSample& sample,
+                                                 Gpu& gpu) {
+  const int num_partitions = gpu.config().num_partitions;
+  std::vector<SlowdownEstimate> out(sample.apps.size());
+
+  const double wall_normal =
+      static_cast<double>(sample.nonpriority_cycles) / num_partitions;
+
+  for (std::size_t i = 0; i < sample.apps.size(); ++i) {
+    const AppIntervalData& d = sample.apps[i];
+    SlowdownEstimate& est = out[i];
+    if (d.num_sms == 0 || d.sm_cycles == 0) continue;
+
+    const double wall_prio =
+        static_cast<double>(d.priority_cycles) / num_partitions;
+    if (wall_prio <= 0.0 || wall_normal <= 0.0) continue;
+
+    // Cache access rates: alone-rate from the priority epochs, shared-rate
+    // from the no-priority region.
+    const double car_alone =
+        static_cast<double>(d.l2_accesses_priority) / wall_prio;
+    double shared_accesses = static_cast<double>(d.l2_accesses_nonpriority);
+    // ATD correction: contention misses inflate the shared access count
+    // with traffic that would not exist alone; discount them
+    // proportionally to the no-priority share of the interval's accesses.
+    if (d.l2_accesses > 0) {
+      const double nonprio_fraction =
+          shared_accesses / static_cast<double>(d.l2_accesses);
+      shared_accesses -= static_cast<double>(d.ellc_miss_scaled) *
+                         nonprio_fraction;
+      shared_accesses = std::max(shared_accesses, 1.0);
+    }
+    const double car_shared = shared_accesses / wall_normal;
+
+    if (car_alone <= 0.0 || car_shared <= 0.0) {
+      est.valid = true;
+      est.slowdown_assigned = est.slowdown_all = 1.0;
+      est.alpha = d.alpha;
+      continue;
+    }
+
+    est.valid = true;
+    const double alpha = std::clamp(d.alpha, 0.0, 1.0);
+    est.alpha = alpha;
+    const double ratio = std::max(1.0, car_alone / car_shared);
+    if (alpha >= options_.memory_bound_alpha) {
+      est.mbb = true;
+      est.slowdown_assigned = ratio;
+    } else {
+      est.slowdown_assigned = 1.0 - alpha + alpha * ratio;
+    }
+    // No all-SM extrapolation (paper Section VI).
+    est.slowdown_all = std::max(1.0, est.slowdown_assigned);
+  }
+  return out;
+}
+
+}  // namespace gpusim

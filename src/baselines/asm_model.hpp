@@ -1,0 +1,40 @@
+// ASM — the Application Slowdown Model (Subramanian et al., MICRO 2015),
+// adapted to the GPU as the paper's second comparison baseline.
+//
+// ASM refines MISE by moving the measurement point from main memory to the
+// shared cache: slowdown ≈ CAR_alone / CAR_shared, where CAR is the
+// cache (L2) access rate.  CAR_alone is sampled during highest-priority
+// epochs; shared-cache contention is corrected with an auxiliary tag
+// directory — accesses that miss only because a co-runner evicted the line
+// (and the cycles spent serving them) are discounted from the shared-rate
+// measurement.
+//
+// As with MISE, the GPU-specific deficiencies the paper identifies are
+// retained: no all-SM extrapolation, and priority epochs that cannot
+// actually isolate a GPU application.
+#pragma once
+
+#include "dase/estimator.hpp"
+
+namespace gpusim {
+
+struct AsmOptions {
+  double memory_bound_alpha = 0.7;
+};
+
+class AsmModel final : public SlowdownEstimator {
+ public:
+  explicit AsmModel(AsmOptions options = {}, int warmup_intervals = 1)
+      : SlowdownEstimator(warmup_intervals), options_(options) {}
+
+  std::string name() const override { return "ASM"; }
+
+ protected:
+  std::vector<SlowdownEstimate> estimate(const IntervalSample& sample,
+                                         Gpu& gpu) override;
+
+ private:
+  AsmOptions options_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,54 @@
+#include "baselines/mise_model.hpp"
+
+#include <algorithm>
+
+namespace gpusim {
+
+std::vector<SlowdownEstimate> MiseModel::estimate(
+    const IntervalSample& sample, Gpu& gpu) {
+  const int num_partitions = gpu.config().num_partitions;
+  std::vector<SlowdownEstimate> out(sample.apps.size());
+
+  // priority_cycles / nonpriority_cycles are summed across partitions;
+  // divide back to wall-clock cycles.
+  const double wall_normal =
+      static_cast<double>(sample.nonpriority_cycles) / num_partitions;
+
+  for (std::size_t i = 0; i < sample.apps.size(); ++i) {
+    const AppIntervalData& d = sample.apps[i];
+    SlowdownEstimate& est = out[i];
+    if (d.num_sms == 0 || d.sm_cycles == 0) continue;
+
+    const double wall_prio =
+        static_cast<double>(d.priority_cycles) / num_partitions;
+    if (wall_prio <= 0.0 || wall_normal <= 0.0) continue;
+
+    const double arsr = static_cast<double>(d.priority_served) / wall_prio;
+    const double srsr =
+        static_cast<double>(d.nonpriority_served) / wall_normal;
+    if (srsr <= 0.0 || arsr <= 0.0) {
+      // No memory traffic: a compute-only interval is unslowed.
+      est.valid = true;
+      est.slowdown_assigned = est.slowdown_all = 1.0;
+      est.alpha = d.alpha;
+      continue;
+    }
+
+    est.valid = true;
+    const double alpha = std::clamp(d.alpha, 0.0, 1.0);
+    est.alpha = alpha;
+    const double ratio = std::max(1.0, arsr / srsr);
+    if (alpha >= options_.memory_bound_alpha) {
+      est.mbb = true;
+      est.slowdown_assigned = ratio;
+    } else {
+      est.slowdown_assigned = 1.0 - alpha + alpha * ratio;
+    }
+    // MISE has no notion of the all-SM alone baseline (paper Section VI):
+    // it reports the assigned-SM estimate unchanged.
+    est.slowdown_all = std::max(1.0, est.slowdown_assigned);
+  }
+  return out;
+}
+
+}  // namespace gpusim

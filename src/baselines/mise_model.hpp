@@ -1,0 +1,42 @@
+// MISE — Memory-interference induced Slowdown Estimation
+// (Subramanian et al., HPCA 2013), adapted to the GPU as the paper's first
+// comparison baseline.
+//
+// Model: slowdown of a memory-bound application = ARSR / SRSR, where ARSR
+// is measured during the application's highest-priority epochs (see
+// PriorityEpochDriver) and SRSR during normal operation; non-memory-bound
+// applications are corrected with the memory stall fraction α:
+// slowdown = (1 - α) + α * ARSR / SRSR.
+//
+// GPU-specific deficiencies retained deliberately (paper Section VI):
+//  * no extrapolation from the assigned SMs to the all-SM alone baseline;
+//  * priority epochs do not shield a GPU application from interference.
+#pragma once
+
+#include "dase/estimator.hpp"
+
+namespace gpusim {
+
+struct MiseOptions {
+  /// α at/above which an application counts as memory-bound and the pure
+  /// service-rate ratio is used (MISE's MPKI classification, mapped onto
+  /// the stall fraction the GPU exposes).
+  double memory_bound_alpha = 0.7;
+};
+
+class MiseModel final : public SlowdownEstimator {
+ public:
+  explicit MiseModel(MiseOptions options = {}, int warmup_intervals = 1)
+      : SlowdownEstimator(warmup_intervals), options_(options) {}
+
+  std::string name() const override { return "MISE"; }
+
+ protected:
+  std::vector<SlowdownEstimate> estimate(const IntervalSample& sample,
+                                         Gpu& gpu) override;
+
+ private:
+  MiseOptions options_;
+};
+
+}  // namespace gpusim

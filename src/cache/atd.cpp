@@ -1,0 +1,42 @@
+#include "cache/atd.hpp"
+
+#include <cassert>
+
+namespace gpusim {
+
+SampledAtd::SampledAtd(int shadow_sets, int assoc, int line_bytes,
+                       int sampled_sets)
+    : shadow_sets_(shadow_sets),
+      sample_stride_(shadow_sets / sampled_sets),
+      line_bytes_(line_bytes),
+      tags_(sampled_sets, assoc, line_bytes) {
+  assert(sampled_sets > 0 && sampled_sets <= shadow_sets);
+  assert(shadow_sets % sampled_sets == 0 &&
+         "sampled sets must evenly divide the shadow cache");
+}
+
+bool SampledAtd::is_sampled(u64 addr) const {
+  return shadow_set_index(addr) % sample_stride_ == 0;
+}
+
+bool SampledAtd::access(u64 addr) {
+  assert(is_sampled(addr));
+  // Re-map the line so the internal directory's set index equals the
+  // sampled-set ordinal while the tag still uniquely identifies the line:
+  // line_id = row * shadow_sets + shadow_set, and shadow_set is a multiple
+  // of the stride here, so (row, shadow_set/stride) round-trips to line_id.
+  const u64 line_id = addr / line_bytes_;
+  const u64 row = line_id / shadow_sets_;
+  const u64 sampled_ordinal =
+      static_cast<u64>(shadow_set_index(addr) / sample_stride_);
+  const u64 remapped_line =
+      row * static_cast<u64>(tags_.num_sets()) + sampled_ordinal;
+  return tags_.access(remapped_line * line_bytes_, /*app=*/0).hit;
+}
+
+void SampledAtd::clear() {
+  tags_.clear();
+  sample_extra_misses_ = 0;
+}
+
+}  // namespace gpusim

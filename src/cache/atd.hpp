@@ -1,0 +1,57 @@
+// Auxiliary Tag Directory (ATD) with set sampling.
+//
+// Paper Section 4.2 (after Qureshi & Patt's UCP): to detect contention
+// cache misses — accesses that miss the shared L2 but *would have hit* had
+// the application been running alone — DASE keeps, per application, a tag
+// directory with the same associativity and LRU policy as the L2, fed only
+// with that application's accesses.  To bound hardware cost, only a few
+// sampled sets are tracked (paper: 8 sets) and the miss count is scaled by
+// the inverse sampling fraction (Eq. 13).
+#pragma once
+
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+class SampledAtd {
+ public:
+  /// Mirrors a cache with `shadow_sets` total sets, sampling `sampled_sets`
+  /// of them evenly.
+  SampledAtd(int shadow_sets, int assoc, int line_bytes, int sampled_sets);
+
+  /// True when `addr` maps to one of the sampled sets.
+  bool is_sampled(u64 addr) const;
+
+  /// Updates the ATD with this application-private access and reports
+  /// whether it hit.  Must only be called for sampled addresses.
+  bool access(u64 addr);
+
+  /// Raw extra-miss events observed in the sampled sets this lifetime.
+  u64 sample_extra_misses() const { return sample_extra_misses_; }
+  void record_extra_miss() { ++sample_extra_misses_; }
+
+  /// Eq. 13: scales sampled extra misses by 1 / SampleFraction.
+  u64 scaled_extra_misses() const {
+    return sample_extra_misses_ * static_cast<u64>(sample_stride_);
+  }
+
+  double sample_fraction() const { return 1.0 / sample_stride_; }
+
+  void clear();
+
+ private:
+  int shadow_sets_;
+  int sample_stride_;  // shadow set index is sampled when index % stride == 0
+  int line_bytes_;
+  SetAssocCache tags_;
+  u64 sample_extra_misses_ = 0;
+
+  int shadow_set_index(u64 addr) const {
+    return static_cast<int>((addr / line_bytes_) % shadow_sets_);
+  }
+};
+
+}  // namespace gpusim

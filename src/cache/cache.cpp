@@ -1,0 +1,117 @@
+#include "cache/cache.hpp"
+
+namespace gpusim {
+
+SetAssocCache::SetAssocCache(int num_sets, int assoc, int line_bytes)
+    : num_sets_(num_sets), assoc_(assoc), line_bytes_(line_bytes) {
+  assert(num_sets_ > 0 && assoc_ > 0);
+  assert(line_bytes_ > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0);
+  lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+}
+
+bool SetAssocCache::lookup_touch(u64 addr, AppId app) {
+  ++stats_.accesses;
+  const u64 tag = line_addr(addr);
+  Line* begin = set_begin(set_index(addr));
+  ++tick_;
+  for (int w = 0; w < assoc_; ++w) {
+    Line& line = begin[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = tick_;
+      line.app = app;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+CacheAccessResult SetAssocCache::fill(u64 addr, AppId app) {
+  const u64 tag = line_addr(addr);
+  Line* begin = set_begin(set_index(addr));
+  ++tick_;
+
+  Line* victim = nullptr;
+  for (int w = 0; w < assoc_; ++w) {
+    Line& line = begin[w];
+    if (line.valid && line.tag == tag) {
+      // Already present (e.g. refilled by a racing fill); just refresh.
+      line.lru_stamp = tick_;
+      line.app = app;
+      return {.hit = true};
+    }
+    if (!line.valid) {
+      if (victim == nullptr || victim->valid) victim = &line;
+    } else if (victim == nullptr ||
+               (victim->valid && line.lru_stamp < victim->lru_stamp)) {
+      victim = &line;
+    }
+  }
+  CacheAccessResult result;
+  if (victim->valid) {
+    result.evicted = true;
+    result.victim_app = victim->app;
+    ++stats_.evictions;
+    if (victim->app != app) ++stats_.cross_app_evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->app = app;
+  victim->lru_stamp = tick_;
+  return result;
+}
+
+CacheAccessResult SetAssocCache::access(u64 addr, AppId app) {
+  ++stats_.accesses;
+  const u64 tag = line_addr(addr);
+  const int set = set_index(addr);
+  Line* begin = set_begin(set);
+  ++tick_;
+
+  Line* victim = nullptr;
+  for (int w = 0; w < assoc_; ++w) {
+    Line& line = begin[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = tick_;
+      line.app = app;
+      ++stats_.hits;
+      return {.hit = true};
+    }
+    if (!line.valid) {
+      if (victim == nullptr || victim->valid) victim = &line;
+    } else if (victim == nullptr ||
+               (victim->valid && line.lru_stamp < victim->lru_stamp)) {
+      victim = &line;
+    }
+  }
+
+  CacheAccessResult result;
+  if (victim->valid) {
+    result.evicted = true;
+    result.victim_app = victim->app;
+    ++stats_.evictions;
+    if (victim->app != app) ++stats_.cross_app_evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->app = app;
+  victim->lru_stamp = tick_;
+  return result;
+}
+
+bool SetAssocCache::probe(u64 addr) const {
+  const u64 tag = line_addr(addr);
+  const Line* begin = set_begin(set_index(addr));
+  for (int w = 0; w < assoc_; ++w) {
+    if (begin[w].valid && begin[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::clear() {
+  for (auto& line : lines_) line.valid = false;
+  tick_ = 0;
+  stats_ = {};
+}
+
+}  // namespace gpusim

@@ -1,0 +1,87 @@
+// Set-associative write-allocate cache with true-LRU replacement.
+//
+// Used for both the per-SM L1 data caches and the per-partition shared L2
+// slices (paper Table II: 16KB 4-way L1, 128KB 8-way L2 slice, 128B lines).
+// Lines carry the owning application id so shared-cache contention (who
+// evicted whom) can be observed — the interference source DASE's ELLCMiss
+// counter and the ASM baseline's ATD correction both target.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpusim {
+
+struct CacheAccessResult {
+  bool hit = false;
+  /// Valid line was evicted to make room (only meaningful on a miss).
+  bool evicted = false;
+  /// Application that owned the evicted line (kInvalidApp when !evicted).
+  AppId victim_app = kInvalidApp;
+};
+
+struct CacheStats {
+  u64 accesses = 0;
+  u64 hits = 0;
+  u64 evictions = 0;
+  /// Evictions where the victim line belonged to a different application —
+  /// the raw inter-application cache interference events.
+  u64 cross_app_evictions = 0;
+};
+
+class SetAssocCache {
+ public:
+  /// `num_sets` and `assoc` define geometry; `line_bytes` must be pow2.
+  SetAssocCache(int num_sets, int assoc, int line_bytes);
+
+  /// Looks up `addr`; on miss, allocates the line (LRU victim) for `app`.
+  /// Allocate-on-miss semantics — used by the ATD shadow directories, where
+  /// the alone-cache contents must be updated immediately.
+  CacheAccessResult access(u64 addr, AppId app);
+
+  /// Demand lookup used with fill-on-response: on hit, touches LRU and
+  /// returns true; on miss, records the miss but does NOT allocate (the
+  /// line is installed later via fill(), after the memory system responds).
+  bool lookup_touch(u64 addr, AppId app);
+
+  /// Installs `addr` on response arrival.  Does not count as an access in
+  /// stats (the demand lookup already did); evictions are still recorded.
+  CacheAccessResult fill(u64 addr, AppId app);
+
+  /// Lookup without any state change (used by tests and probes).
+  bool probe(u64 addr) const;
+
+  /// Invalidates every line (used between runs).
+  void clear();
+
+  int num_sets() const { return num_sets_; }
+  int assoc() const { return assoc_; }
+  const CacheStats& stats() const { return stats_; }
+
+  u64 line_addr(u64 addr) const { return addr / line_bytes_; }
+  int set_index(u64 addr) const {
+    return static_cast<int>(line_addr(addr) % num_sets_);
+  }
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    u64 lru_stamp = 0;
+    AppId app = kInvalidApp;
+    bool valid = false;
+  };
+
+  int num_sets_;
+  int assoc_;
+  int line_bytes_;
+  u64 tick_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * assoc_, row-major by set
+  CacheStats stats_;
+
+  Line* set_begin(int set) { return lines_.data() + set * assoc_; }
+  const Line* set_begin(int set) const { return lines_.data() + set * assoc_; }
+};
+
+}  // namespace gpusim

@@ -1,0 +1,68 @@
+// Miss Status Holding Registers.
+//
+// Merges outstanding misses to the same cache line so only one request per
+// line is in flight, and fans the response back out to every waiter.  Used
+// at both cache levels: the L1 MSHR tracks waiting warps of one SM, the L2
+// MSHR tracks waiting (SM, warp) pairs across SMs.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpusim {
+
+struct MshrWaiter {
+  SmId sm = kInvalidSm;
+  WarpId warp = -1;
+  AppId app = kInvalidApp;
+};
+
+class Mshr {
+ public:
+  explicit Mshr(int max_entries) : max_entries_(max_entries) {
+    assert(max_entries_ > 0);
+  }
+
+  enum class AllocResult {
+    kNewMiss,   ///< First miss for this line; caller must forward a request.
+    kMerged,    ///< Line already in flight; waiter recorded, no new request.
+    kRejected,  ///< Structure full; caller must stall and retry.
+  };
+
+  AllocResult allocate(u64 line_addr, MshrWaiter waiter) {
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+      it->second.push_back(waiter);
+      return AllocResult::kMerged;
+    }
+    if (static_cast<int>(entries_.size()) >= max_entries_) {
+      return AllocResult::kRejected;
+    }
+    entries_[line_addr].push_back(waiter);
+    return AllocResult::kNewMiss;
+  }
+
+  /// Retires the entry for `line_addr`, returning every recorded waiter.
+  /// The entry must exist.
+  std::vector<MshrWaiter> release(u64 line_addr) {
+    auto it = entries_.find(line_addr);
+    assert(it != entries_.end() && "response for line with no MSHR entry");
+    std::vector<MshrWaiter> waiters = std::move(it->second);
+    entries_.erase(it);
+    return waiters;
+  }
+
+  bool contains(u64 line_addr) const { return entries_.contains(line_addr); }
+  int in_flight() const { return static_cast<int>(entries_.size()); }
+  bool full() const { return in_flight() >= max_entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  int max_entries_;
+  std::unordered_map<u64, std::vector<MshrWaiter>> entries_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,72 @@
+// Fixed-capacity FIFO used for all hardware queues in the simulator.
+//
+// Hardware queues have finite depth; back-pressure from a full queue is part
+// of the interference behaviour being modelled, so overflow must be an
+// explicit, checkable condition rather than silent growth.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace gpusim {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+
+  bool full() const { return items_.size() >= capacity_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Attempts to enqueue; returns false (and leaves the item unmoved-from
+  /// semantics aside) when the queue is full.
+  bool try_push(T item) {
+    if (full()) return false;
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  T& front() {
+    assert(!empty());
+    return items_.front();
+  }
+  const T& front() const {
+    assert(!empty());
+    return items_.front();
+  }
+
+  T pop() {
+    assert(!empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Iteration support (needed by FR-FCFS scans over bank queues).
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  /// Removes and returns the element at iterator position (FR-FCFS picks
+  /// row-buffer hits from the middle of the queue).
+  T extract(typename std::deque<T>::iterator it) {
+    T item = std::move(*it);
+    items_.erase(it);
+    return item;
+  }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,28 @@
+// Plain-text (key = value) serialisation for GpuConfig, so experiments can
+// be pinned to a configuration file (see tools/gpusim_cli --config).
+//
+// Format: one `key = value` per line; '#' starts a comment; unknown keys
+// are an error (typos must not silently fall back to defaults).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace gpusim {
+
+/// Writes every tunable field with a short comment.
+void write_config(std::ostream& os, const GpuConfig& cfg);
+
+/// Parses `key = value` lines into `cfg` (fields not mentioned keep their
+/// current values).  Throws std::invalid_argument on unknown keys or
+/// malformed values; the returned config has been validate()d.
+GpuConfig read_config(std::istream& is, GpuConfig cfg = {});
+
+/// File-path conveniences.  load_config throws std::runtime_error when the
+/// file cannot be opened.
+GpuConfig load_config(const std::string& path, GpuConfig base = {});
+void save_config(const std::string& path, const GpuConfig& cfg);
+
+}  // namespace gpusim

@@ -1,0 +1,56 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs for a given seed: the
+// alone-run replay methodology (Section V of the paper) compares co-run and
+// alone-run executions of the *same* instruction stream, so every warp's
+// address stream is derived from an explicit per-warp seed.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gpusim {
+
+/// xoshiro256** — small, fast, high-quality; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97f4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4] = {};
+};
+
+}  // namespace gpusim

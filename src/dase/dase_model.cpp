@@ -1,0 +1,108 @@
+#include "dase/dase_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpusim {
+
+double DaseModel::request_max(const GpuConfig& cfg, Cycle interval) {
+  // Eq. 20: Requestmax = Time_shared / Time_perReq * 0.6.  Each partition
+  // owns an independent data bus, so the GPU-wide ceiling is the
+  // per-partition ceiling times the partition count.
+  const double per_partition =
+      static_cast<double>(interval) / cfg.time_per_request();
+  return per_partition * cfg.num_partitions * cfg.requestmax_factor;
+}
+
+std::vector<SlowdownEstimate> DaseModel::estimate(
+    const IntervalSample& sample, Gpu& gpu) {
+  std::vector<SlowdownEstimate> out(sample.apps.size());
+  for (std::size_t a = 0; a < sample.apps.size(); ++a) {
+    out[a] = estimate_app(sample.apps[a], sample, gpu.config());
+  }
+  return out;
+}
+
+SlowdownEstimate DaseModel::estimate_app(const AppIntervalData& d,
+                                         const IntervalSample& sample,
+                                         const GpuConfig& cfg) const {
+  SlowdownEstimate est;
+  if (d.num_sms == 0 || d.sm_cycles == 0 || sample.length == 0) {
+    return est;  // not resident this interval
+  }
+  est.valid = true;
+
+  const double t_shared = static_cast<double>(sample.length);
+  const double req_max = request_max(cfg, sample.length);
+  const double ellc_miss = static_cast<double>(d.ellc_miss_scaled);
+  // Eq. 17: shared request count purged of contention-miss traffic.
+  const double request_shared = std::max(
+      1.0, static_cast<double>(d.requests_served) - ellc_miss);
+
+  // --- MBB classification (Eq. 19, 21, 22) ---
+  const double total_served =
+      static_cast<double>(sample.total_requests_served);
+  const bool cond_total = total_served >= req_max;                 // Eq. 19
+  const bool cond_share =
+      request_shared / req_max >= 1.0 / sample.count_apps;         // Eq. 21
+  const double alpha_raw = std::clamp(d.alpha, 0.0, 1.0);
+  const bool cond_demand =
+      request_shared / std::max(1e-9, 1.0 - alpha_raw) >= req_max;  // Eq. 22
+  est.mbb = cond_total && cond_share && cond_demand;
+
+  double alpha = alpha_raw;
+  if (options_.clamp_alpha && alpha > cfg.alpha_clamp_threshold) {
+    alpha = 1.0;  // Section 4.1 accuracy note
+  }
+  est.alpha = alpha;
+
+  if (est.mbb) {
+    // Eq. 16 + Eq. 18: alone, this kernel would have absorbed the service
+    // capacity all concurrent apps consumed together.
+    est.slowdown_assigned = std::max(1.0, total_served / request_shared);
+    // Section 4.3: MBB kernels do not speed up with more SMs, so the
+    // assigned-SM estimate already matches the all-SM baseline.
+    est.slowdown_all = est.slowdown_assigned;
+    return est;
+  }
+
+  // --- NMBB path (Eq. 7-15) ---
+  const double blp = std::max(d.blp, 1.0);
+  const double t_bank =
+      t_shared * std::max(0.0, d.blp - d.blp_access);           // Eq. 9
+  const double t_rowbuf =
+      static_cast<double>(d.erb_miss) *
+      static_cast<double>(cfg.t_rp() + cfg.t_rcd());            // Eq. 10
+  const double t_avg_req =
+      d.requests_served > 0
+          ? static_cast<double>(d.bank_service_time) / d.requests_served
+          : 0.0;                                                // Eq. 12
+  const double t_llc = ellc_miss * t_avg_req;                   // Eq. 11
+  double t_interf = t_bank + t_rowbuf + t_llc;
+  if (options_.divide_by_blp) t_interf /= blp;                  // Eq. 14
+  t_interf = std::min(t_interf, options_.max_interference_fraction * t_shared);
+  est.interference_cycles = t_interf;
+
+  const double ratio = t_shared / (t_shared - t_interf);        // Eq. 7/8
+  est.slowdown_assigned = 1.0 - alpha + alpha * ratio;          // Eq. 15
+  est.slowdown_assigned = std::max(1.0, est.slowdown_assigned);
+
+  // --- all-SM extrapolation (Eq. 23-25) ---
+  const double sm_scale =
+      static_cast<double>(sample.total_sms) / d.num_sms;
+  double all = est.slowdown_assigned * sm_scale;                // Eq. 23
+  if (options_.apply_tlp_cap && d.active_blocks > 0) {
+    const double tlp_cap = est.slowdown_assigned *
+                           static_cast<double>(d.remaining_blocks) /
+                           d.active_blocks;                     // Eq. 24
+    all = std::min(all, tlp_cap);
+  }
+  if (options_.apply_bw_cap) {
+    const double bw_cap = req_max / request_shared;             // Eq. 25
+    all = std::min(all, bw_cap);
+  }
+  est.slowdown_all = std::max(1.0, all);
+  return est;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,61 @@
+// DASE — Dynamical Application Slowdown Estimation (paper Section IV).
+//
+// Per estimation interval and per application, DASE:
+//   1. classifies the application as memory-bandwidth-bound (MBB) or not
+//      (NMBB) from served-request counts and the stall fraction α
+//      (Eq. 19-22, with the empirical Requestmax of Eq. 20);
+//   2. for NMBB apps, estimates the interference cycles other applications
+//      injected into the shared memory system — bank occupancy (Eq. 9),
+//      extra row-buffer misses (Eq. 10), contention cache misses via the
+//      sampled ATD (Eq. 11-13) — divides by the app's bank-level
+//      parallelism (Eq. 14) and folds in TLP latency hiding via α
+//      (Eq. 15);
+//   3. for MBB apps, uses the served-request ratio (Eq. 16-18): alone, a
+//      bandwidth-bound kernel would absorb all requests the DRAM served;
+//   4. extrapolates the assigned-SM slowdown to the all-SM baseline the
+//      metric demands (Eq. 23), capped by remaining thread-block
+//      parallelism (Eq. 24) and by memory-bandwidth headroom (Eq. 25).
+#pragma once
+
+#include "dase/estimator.hpp"
+
+namespace gpusim {
+
+struct DaseOptions {
+  /// Section 4.1: "setting α to 1 makes DASE more accurate when α is
+  /// large"; the threshold comes from GpuConfig::alpha_clamp_threshold.
+  bool clamp_alpha = true;
+  /// Eq. 14 divides aggregate interference by BLP_i; disable to ablate.
+  bool divide_by_blp = true;
+  /// Apply the Eq. 24 / Eq. 25 caps on the all-SM extrapolation.
+  bool apply_tlp_cap = true;
+  bool apply_bw_cap = true;
+  /// Fraction of the interval T_interference may not exceed (guards the
+  /// Eq. 7 denominator).
+  double max_interference_fraction = 0.95;
+};
+
+class DaseModel final : public SlowdownEstimator {
+ public:
+  explicit DaseModel(DaseOptions options = {}, int warmup_intervals = 1)
+      : SlowdownEstimator(warmup_intervals), options_(options) {}
+
+  std::string name() const override { return "DASE"; }
+
+  /// Eq. 20: the empirical maximum number of requests DRAM can serve in
+  /// `interval` cycles across all partitions.
+  static double request_max(const GpuConfig& cfg, Cycle interval);
+
+ protected:
+  std::vector<SlowdownEstimate> estimate(const IntervalSample& sample,
+                                         Gpu& gpu) override;
+
+ private:
+  SlowdownEstimate estimate_app(const AppIntervalData& d,
+                                const IntervalSample& sample,
+                                const GpuConfig& cfg) const;
+
+  DaseOptions options_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,70 @@
+// Common interface for run-time slowdown estimators (DASE and the MISE /
+// ASM baselines).
+//
+// An estimator observes the hardware-counter sample of every estimation
+// interval and produces, per application, the predicted slowdown relative
+// to running alone on the *entire* GPU (paper Eq. 1) — the quantity the
+// evaluation compares against the measured actual slowdown.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/simulator.hpp"
+
+namespace gpusim {
+
+struct SlowdownEstimate {
+  bool valid = false;  ///< enough activity this interval to estimate
+  bool mbb = false;    ///< classified memory-bandwidth-bound (Eq. 19-22)
+  double slowdown_assigned = 1.0;  ///< vs. alone on the assigned SMs
+  double slowdown_all = 1.0;       ///< vs. alone on all SMs (reported value)
+  double alpha = 0.0;              ///< memory stall fraction used
+  double interference_cycles = 0.0;  ///< T_interference (Eq. 14), NMBB only
+};
+
+class SlowdownEstimator : public IntervalObserver {
+ public:
+  /// `warmup_intervals` initial intervals are estimated but excluded from
+  /// the running per-application mean (caches and queues still filling).
+  explicit SlowdownEstimator(int warmup_intervals = 1)
+      : warmup_(warmup_intervals) {}
+
+  void on_interval(const IntervalSample& sample, Gpu& gpu) final {
+    ++intervals_seen_;
+    latest_ = estimate(sample, gpu);
+    if (intervals_seen_ <= static_cast<u64>(warmup_)) return;
+    for (const SlowdownEstimate& e : latest_) {
+      if (e.valid) {
+        accum_[&e - latest_.data()].add(e.slowdown_all);
+      }
+    }
+  }
+
+  const std::vector<SlowdownEstimate>& latest() const { return latest_; }
+
+  /// Mean of per-interval slowdown_all estimates past warm-up; 1.0 when no
+  /// valid interval was observed.
+  double mean_slowdown(AppId app) const {
+    const RunningMean& m = accum_[app];
+    return m.count() == 0 ? 1.0 : m.mean();
+  }
+
+  u64 intervals_seen() const { return intervals_seen_; }
+  virtual std::string name() const = 0;
+
+ protected:
+  virtual std::vector<SlowdownEstimate> estimate(const IntervalSample& sample,
+                                                 Gpu& gpu) = 0;
+
+ private:
+  int warmup_;
+  u64 intervals_seen_ = 0;
+  std::vector<SlowdownEstimate> latest_;
+  std::array<RunningMean, kMaxApps> accum_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,62 @@
+// Per-application launch state: the grid of thread blocks an application's
+// kernel supplies to its assigned SMs.
+//
+// Following the paper's methodology (Section V), a finished kernel is
+// restarted so concurrent execution continues for the whole measurement
+// window; the instruction counters keep accumulating across restarts.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "kernels/kernel_profile.hpp"
+#include "sm/block_source.hpp"
+
+namespace gpusim {
+
+class AppRuntime final : public BlockSource {
+ public:
+  AppRuntime(KernelProfile profile, AppId app, u64 seed,
+             bool restart_on_finish = true)
+      : profile_(std::move(profile)),
+        app_(app),
+        seed_(seed),
+        restart_on_finish_(restart_on_finish) {}
+
+  std::optional<u64> try_alloc_block() override {
+    if (next_block_ >= static_cast<u64>(profile_.blocks_total)) {
+      if (!restart_on_finish_) return std::nullopt;
+      ++kernel_restarts_;
+      next_block_ = 0;
+    }
+    return next_block_++;
+  }
+
+  void on_block_complete(u64 /*block_index*/) override { ++blocks_completed_; }
+
+  const KernelProfile& profile() const override { return profile_; }
+  AppId app() const override { return app_; }
+  u64 app_seed() const override { return seed_; }
+
+  u64 blocks_completed() const { return blocks_completed_; }
+  u64 kernel_restarts() const { return kernel_restarts_; }
+
+  /// TB_sum of Eq. 24: unfinished thread blocks.  Unbounded under
+  /// restart-on-finish, so report the full grid size in that case.
+  u64 remaining_blocks() const {
+    if (restart_on_finish_) return static_cast<u64>(profile_.blocks_total);
+    const u64 total = static_cast<u64>(profile_.blocks_total);
+    return blocks_completed_ >= total ? 0 : total - blocks_completed_;
+  }
+
+ private:
+  KernelProfile profile_;
+  AppId app_;
+  u64 seed_;
+  bool restart_on_finish_;
+  u64 next_block_ = 0;
+  u64 blocks_completed_ = 0;
+  u64 kernel_restarts_ = 0;
+};
+
+}  // namespace gpusim

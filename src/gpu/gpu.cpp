@@ -1,0 +1,225 @@
+#include "gpu/gpu.hpp"
+
+#include <cassert>
+
+namespace gpusim {
+
+std::vector<AppId> even_partition(int num_sms, int num_apps) {
+  assert(num_apps > 0 && num_sms >= num_apps);
+  std::vector<AppId> out(num_sms, kInvalidApp);
+  const int base = num_sms / num_apps;
+  const int extra = num_sms % num_apps;
+  int sm = 0;
+  for (AppId a = 0; a < num_apps; ++a) {
+    const int share = base + (a < extra ? 1 : 0);
+    for (int k = 0; k < share; ++k) out[sm++] = a;
+  }
+  return out;
+}
+
+Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
+    : cfg_(cfg),
+      address_map_(cfg_),
+      req_net_(
+          cfg_.num_sms, cfg_.num_partitions, cfg_.noc_latency,
+          cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
+          [](const MemRequestPacket& p) { return static_cast<int>(p.dest); }),
+      resp_net_(
+          cfg_.num_partitions, cfg_.num_sms, cfg_.noc_latency,
+          cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
+          [](const MemResponsePacket& p) { return static_cast<int>(p.sm); }),
+      desired_partition_(cfg_.num_sms, kInvalidApp) {
+  cfg_.validate();
+  assert(!launches.empty() &&
+         static_cast<int>(launches.size()) <= kMaxApps);
+
+  runtimes_.reserve(launches.size());
+  for (std::size_t a = 0; a < launches.size(); ++a) {
+    runtimes_.push_back(std::make_unique<AppRuntime>(
+        std::move(launches[a].profile), static_cast<AppId>(a),
+        launches[a].seed, launches[a].restart_on_finish));
+  }
+
+  sms_.reserve(cfg_.num_sms);
+  for (SmId s = 0; s < cfg_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<SmCore>(cfg_, s, address_map_));
+    sms_.back()->set_instr_sink(&instructions_);
+    sm_out_ptrs_.push_back(&sms_.back()->out_queue());
+  }
+  partitions_.reserve(cfg_.num_partitions);
+  for (PartitionId p = 0; p < cfg_.num_partitions; ++p) {
+    partitions_.push_back(
+        std::make_unique<MemoryPartition>(cfg_, num_apps(), p));
+    part_resp_ptrs_.push_back(&partitions_.back()->resp_queue());
+  }
+}
+
+void Gpu::set_partition(const std::vector<AppId>& desired) {
+  assert(static_cast<int>(desired.size()) == cfg_.num_sms);
+  for (AppId a : desired) {
+    assert(a == kInvalidApp || (a >= 0 && a < num_apps()));
+  }
+  desired_partition_ = desired;
+  migration_pending_ = true;
+  progress_migration();
+}
+
+std::vector<AppId> Gpu::current_partition() const {
+  std::vector<AppId> out(cfg_.num_sms, kInvalidApp);
+  for (int s = 0; s < cfg_.num_sms; ++s) out[s] = sms_[s]->app();
+  return out;
+}
+
+bool Gpu::migration_in_progress() const { return migration_pending_; }
+
+int Gpu::sms_assigned(AppId app) const {
+  int n = 0;
+  for (const auto& sm : sms_) n += sm->app() == app ? 1 : 0;
+  return n;
+}
+
+void Gpu::set_priority_app(AppId app) {
+  for (auto& p : partitions_) p->mc().set_priority_app(app);
+}
+
+void Gpu::progress_migration() {
+  bool pending = false;
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    SmCore& sm = *sms_[s];
+    const AppId want = desired_partition_[s];
+    if (sm.app() == want) {
+      // Matching owner again: cancel any drain from a superseded request.
+      if (sm.draining() && want != kInvalidApp && sm.assigned()) {
+        sm.cancel_drain();
+      }
+      continue;
+    }
+    if (sm.assigned()) {
+      if (!sm.draining()) sm.start_drain();
+      if (sm.drained()) {
+        sm.release();
+      } else {
+        pending = true;
+        continue;
+      }
+    }
+    if (want != kInvalidApp) {
+      sm.assign(runtimes_[want].get());
+    }
+    // (Re-check: newly assigned SM now matches `want`.)
+  }
+  migration_pending_ = pending;
+}
+
+void Gpu::cycle() {
+  // 1. Deliver matured responses to SMs, then advance each SM.
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    auto& rq = resp_net_.dest_queue(s);
+    while (!rq.empty() && rq.front().ready <= now_) {
+      sms_[s]->receive(rq.pop());
+    }
+    sms_[s]->cycle(now_);
+    const AppId app = sms_[s]->app();
+    if (app != kInvalidApp) sm_cycles_.add(app);
+  }
+
+  // 2. Request crossbar: SM output FIFOs -> partition delivery queues.
+  req_net_.transfer(now_, sm_out_ptrs_);
+
+  // 3. Memory partitions (L2 + DRAM).
+  for (int p = 0; p < cfg_.num_partitions; ++p) {
+    partitions_[p]->cycle(now_, req_net_.dest_queue(p));
+  }
+
+  // 4. Response crossbar: partition response FIFOs -> SM delivery queues.
+  resp_net_.transfer(now_, part_resp_ptrs_);
+
+  // 5. Hand over any drained SMs under a pending repartition.
+  if (migration_pending_) progress_migration();
+
+  ++now_;
+}
+
+void Gpu::run(Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) cycle();
+}
+
+IntervalSample Gpu::end_interval() {
+  IntervalSample sample;
+  sample.start = last_interval_end_;
+  sample.length = now_ - last_interval_end_;
+  sample.total_sms = cfg_.num_sms;
+  sample.count_apps = num_apps();
+  sample.apps.resize(num_apps());
+
+  for (AppId a = 0; a < num_apps(); ++a) {
+    AppIntervalData& d = sample.apps[a];
+    d.app = a;
+    d.sm_cycles = sm_cycles_.interval(a);
+    d.instructions = instructions_.interval(a);
+    d.remaining_blocks = runtimes_[a]->remaining_blocks();
+
+    u64 stall = 0;
+    for (const auto& sm : sms_) {
+      if (sm->app() != a) continue;
+      ++d.num_sms;
+      d.active_blocks += sm->active_blocks();
+      stall += sm->counters().mem_stall_cycles.interval();
+    }
+    d.alpha = d.sm_cycles > 0 ? static_cast<double>(stall) / d.sm_cycles : 0.0;
+
+    u64 blp_occ = 0;
+    u64 blp_acc = 0;
+    u64 blp_time = 0;
+    for (const auto& p : partitions_) {
+      const McCounters& mcc = p->mc().counters();
+      d.requests_served += mcc.requests_served.interval(a);
+      d.bank_service_time += mcc.bank_service_time.interval(a);
+      d.erb_miss += mcc.erb_miss.interval(a);
+      d.priority_served += mcc.priority_served.interval(a);
+      d.priority_cycles += mcc.priority_cycles.interval(a);
+      d.nonpriority_served += mcc.nonpriority_served.interval(a);
+      d.l2_accesses_priority += p->counters().l2_accesses_priority.interval(a);
+      d.l2_accesses_nonpriority +=
+          p->counters().l2_accesses_nonpriority.interval(a);
+      blp_occ += mcc.blp_occupancy_int.interval(a);
+      blp_acc += mcc.blp_access_int.interval(a);
+      blp_time += mcc.blp_time.interval(a);
+      d.l2_accesses += p->counters().l2_accesses.interval(a);
+      d.l2_hits += p->counters().l2_hits.interval(a);
+      d.ellc_miss_scaled += p->interval_scaled_extra_misses(a);
+    }
+    d.blp = blp_time > 0 ? static_cast<double>(blp_occ) / blp_time : 0.0;
+    d.blp_access =
+        blp_time > 0 ? static_cast<double>(blp_acc) / blp_time : 0.0;
+    sample.total_requests_served += d.requests_served;
+  }
+  for (const auto& p : partitions_) {
+    sample.nonpriority_cycles +=
+        p->mc().counters().nonpriority_cycles.interval();
+  }
+
+  // Snapshot everything for the next interval.
+  instructions_.snapshot();
+  sm_cycles_.snapshot();
+  for (auto& sm : sms_) sm->counters().snapshot_all();
+  for (auto& p : partitions_) {
+    p->mc().counters().snapshot_all();
+    p->counters().snapshot_all();
+  }
+  last_interval_end_ = now_;
+  return sample;
+}
+
+bool Gpu::memory_system_quiescent() const {
+  for (const auto& p : partitions_) {
+    if (!p->quiescent()) return false;
+  }
+  if (!req_net_.all_empty() || !resp_net_.all_empty()) return false;
+  for (const auto& sm : sms_) {
+    if (!sm->out_queue().empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace gpusim

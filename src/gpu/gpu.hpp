@@ -1,0 +1,102 @@
+// Top-level GPU: SMs, two crossbar directions, memory partitions, the
+// spatial partition table, and the interval-sampling machinery feeding the
+// slowdown estimators (paper Fig. 1 architecture).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/app_runtime.hpp"
+#include "gpu/interval.hpp"
+#include "kernels/kernel_profile.hpp"
+#include "mem/address_map.hpp"
+#include "mem/partition.hpp"
+#include "noc/crossbar.hpp"
+#include "sm/sm_core.hpp"
+
+namespace gpusim {
+
+struct AppLaunch {
+  KernelProfile profile;
+  u64 seed = 1;
+  bool restart_on_finish = true;
+};
+
+/// App id for each SM under an even split: app i owns a contiguous chunk of
+/// num_sms / num_apps SMs (the paper's default policy), with any remainder
+/// given to the lowest-numbered apps.
+std::vector<AppId> even_partition(int num_sms, int num_apps);
+
+class Gpu {
+ public:
+  Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches);
+
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  int num_apps() const { return static_cast<int>(runtimes_.size()); }
+  int num_sms() const { return cfg_.num_sms; }
+  Cycle now() const { return now_; }
+  const GpuConfig& config() const { return cfg_; }
+
+  /// Requests the partition described by `desired` (one AppId per SM;
+  /// kInvalidApp leaves the SM idle).  SMs that must change owner drain
+  /// first (paper Section VII "SM Draining") and are handed over as they
+  /// empty; already-matching SMs are untouched.
+  void set_partition(const std::vector<AppId>& desired);
+
+  std::vector<AppId> current_partition() const;
+  bool migration_in_progress() const;
+  int sms_assigned(AppId app) const;
+
+  /// Gives one application's DRAM requests absolute priority in every
+  /// memory controller (MISE/ASM estimation epochs); kInvalidApp clears.
+  void set_priority_app(AppId app);
+
+  void cycle();
+  void run(Cycle cycles);
+
+  /// Aggregates all counters accumulated since the previous call into an
+  /// IntervalSample and snapshots the counters.
+  IntervalSample end_interval();
+
+  // --- accessors for models, policies, harnesses and tests ---
+  PerAppCounter& instructions() { return instructions_; }
+  const PerAppCounter& instructions() const { return instructions_; }
+  SmCore& sm(int i) { return *sms_[i]; }
+  const SmCore& sm(int i) const { return *sms_[i]; }
+  MemoryPartition& partition(int p) { return *partitions_[p]; }
+  const MemoryPartition& partition(int p) const { return *partitions_[p]; }
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  AppRuntime& runtime(AppId app) { return *runtimes_[app]; }
+  const AppRuntime& runtime(AppId app) const { return *runtimes_[app]; }
+
+  /// True when no packet is in flight anywhere (tests, drain checks).
+  bool memory_system_quiescent() const;
+
+ private:
+  void progress_migration();
+
+  GpuConfig cfg_;
+  AddressMap address_map_;
+  std::vector<std::unique_ptr<AppRuntime>> runtimes_;
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::vector<std::unique_ptr<MemoryPartition>> partitions_;
+  CrossbarChannel<MemRequestPacket> req_net_;
+  CrossbarChannel<MemResponsePacket> resp_net_;
+  std::vector<BoundedQueue<MemRequestPacket>*> sm_out_ptrs_;
+  std::vector<BoundedQueue<MemResponsePacket>*> part_resp_ptrs_;
+
+  std::vector<AppId> desired_partition_;
+  bool migration_pending_ = false;
+
+  Cycle now_ = 0;
+  Cycle last_interval_end_ = 0;
+  PerAppCounter instructions_;
+  PerAppCounter sm_cycles_;
+};
+
+}  // namespace gpusim

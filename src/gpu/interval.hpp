@@ -1,0 +1,52 @@
+// Per-interval counter sample handed to slowdown estimators.
+//
+// At the end of every estimation interval (paper Section 4.4: fixed 50K
+// cycles) the GPU aggregates the interval deltas of all hardware counters
+// into this plain-data snapshot.  Estimation models consume only this
+// struct — exactly the information the paper's Table I counters expose —
+// so they cannot "cheat" by peeking at simulator internals.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpusim {
+
+struct AppIntervalData {
+  AppId app = kInvalidApp;
+  // --- SM-side (Table I "other hardware counters") ---
+  double alpha = 0.0;     ///< fraction of SM time stalled on memory
+  u64 sm_cycles = 0;      ///< Σ over assigned SMs of interval cycles
+  int num_sms = 0;        ///< SMs assigned at interval end
+  u64 instructions = 0;   ///< warp instructions issued this interval
+  int active_blocks = 0;  ///< TB_shared (Eq. 24), sampled at interval end
+  u64 remaining_blocks = 0;  ///< TB_sum (Eq. 24)
+  // --- memory-side, summed across all partitions ---
+  u64 requests_served = 0;    ///< Request_i
+  u64 bank_service_time = 0;  ///< Time_request_i
+  u64 erb_miss = 0;           ///< ERBMiss_i
+  u64 ellc_miss_scaled = 0;   ///< ELLCMiss_i (Eq. 13, already scaled)
+  u64 l2_accesses = 0;
+  u64 l2_hits = 0;
+  double blp = 0.0;         ///< BLP_i (Eq. 9, time-averaged)
+  double blp_access = 0.0;  ///< BLPAccess_i
+  // --- MISE/ASM priority-epoch measurements ---
+  u64 priority_served = 0;   ///< requests served while holding priority
+  u64 priority_cycles = 0;   ///< cycles this app held priority (Σ partitions)
+  u64 nonpriority_served = 0;  ///< requests served while nobody had priority
+  u64 l2_accesses_priority = 0;
+  u64 l2_accesses_nonpriority = 0;
+};
+
+struct IntervalSample {
+  Cycle start = 0;
+  Cycle length = 0;
+  int total_sms = 0;
+  int count_apps = 0;  ///< CountApp in Eq. 21
+  u64 total_requests_served = 0;
+  u64 nonpriority_cycles = 0;  ///< cycles with no priority app (Σ partitions)
+  std::vector<AppIntervalData> apps;
+};
+
+}  // namespace gpusim

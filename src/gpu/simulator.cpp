@@ -1,0 +1,36 @@
+#include "gpu/simulator.hpp"
+
+namespace gpusim {
+
+void Simulation::run(Cycle cycles) {
+  if (next_interval_end_ == 0) {
+    next_interval_end_ = gpu_.now() + interval_length_;
+  }
+  const Cycle stop = gpu_.now() + cycles;
+  while (gpu_.now() < stop) {
+    for (CycleHook* hook : cycle_hooks_) hook->on_cycle(gpu_.now(), gpu_);
+    gpu_.cycle();
+    maybe_fire_interval();
+  }
+}
+
+void Simulation::run_until_instructions(AppId app, u64 target,
+                                        Cycle max_cycles) {
+  const Cycle stop = gpu_.now() + max_cycles;
+  while (gpu_.instructions().total(app) < target && gpu_.now() < stop) {
+    // Advance in interval-sized strides so observers keep firing.
+    const Cycle stride =
+        std::min<Cycle>(interval_length_, stop - gpu_.now());
+    run(stride);
+  }
+}
+
+void Simulation::maybe_fire_interval() {
+  if (gpu_.now() < next_interval_end_) return;
+  const IntervalSample sample = gpu_.end_interval();
+  ++intervals_completed_;
+  for (IntervalObserver* obs : observers_) obs->on_interval(sample, gpu_);
+  next_interval_end_ = gpu_.now() + interval_length_;
+}
+
+}  // namespace gpusim

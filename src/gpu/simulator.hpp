@@ -1,0 +1,62 @@
+// Simulation driver: advances a Gpu, fires the fixed-length estimation
+// intervals (paper Section 4.4: 50K cycles), and dispatches per-interval
+// samples and per-cycle hooks to registered components (estimation models,
+// scheduling policies, epoch drivers).
+#pragma once
+
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "gpu/interval.hpp"
+
+namespace gpusim {
+
+/// Receives the aggregated counter sample at every interval boundary.
+/// Estimation models and SM-allocation policies implement this.
+class IntervalObserver {
+ public:
+  virtual ~IntervalObserver() = default;
+  virtual void on_interval(const IntervalSample& sample, Gpu& gpu) = 0;
+};
+
+/// Fired every cycle before the GPU advances; used by the MISE/ASM
+/// priority-epoch drivers.
+class CycleHook {
+ public:
+  virtual ~CycleHook() = default;
+  virtual void on_cycle(Cycle now, Gpu& gpu) = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const GpuConfig& cfg, std::vector<AppLaunch> launches)
+      : gpu_(cfg, std::move(launches)),
+        interval_length_(cfg.estimation_interval) {}
+
+  Gpu& gpu() { return gpu_; }
+  const Gpu& gpu() const { return gpu_; }
+
+  void add_observer(IntervalObserver* obs) { observers_.push_back(obs); }
+  void add_cycle_hook(CycleHook* hook) { cycle_hooks_.push_back(hook); }
+
+  /// Runs for `cycles`, firing interval boundaries as they pass.
+  void run(Cycle cycles);
+
+  /// Runs whole intervals until `app` has issued at least `target`
+  /// instructions in total, or `max_cycles` elapse.
+  void run_until_instructions(AppId app, u64 target, Cycle max_cycles);
+
+  u64 intervals_completed() const { return intervals_completed_; }
+
+ private:
+  void maybe_fire_interval();
+
+  Gpu gpu_;
+  Cycle interval_length_;
+  Cycle next_interval_end_ = 0;
+  u64 intervals_completed_ = 0;
+  std::vector<IntervalObserver*> observers_;
+  std::vector<CycleHook*> cycle_hooks_;
+};
+
+}  // namespace gpusim

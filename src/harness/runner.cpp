@@ -1,0 +1,236 @@
+#include "harness/runner.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/asm_model.hpp"
+#include "baselines/mise_model.hpp"
+#include "baselines/priority_epochs.hpp"
+#include "dase/dase_model.hpp"
+#include "gpu/simulator.hpp"
+#include "metrics/metrics.hpp"
+#include "sched/dase_fair.hpp"
+#include "sched/policies.hpp"
+
+namespace gpusim {
+
+namespace {
+
+u64 app_seed(u64 base_seed, int slot) {
+  return base_seed + static_cast<u64>(slot) * 7919;
+}
+
+}  // namespace
+
+double AppResult::estimation_error_of(const std::string& model) const {
+  const auto it = estimates.find(model);
+  assert(it != estimates.end());
+  return estimation_error(it->second, actual_slowdown);
+}
+
+double CoRunResult::mean_error_of(const std::string& model) const {
+  std::vector<double> errors;
+  errors.reserve(apps.size());
+  for (const AppResult& a : apps) errors.push_back(a.estimation_error_of(model));
+  return mean(errors);
+}
+
+Cycle cycles_from_env(const char* name, Cycle fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  return (end != nullptr && *end == '\0' && parsed > 0)
+             ? static_cast<Cycle>(parsed)
+             : fallback;
+}
+
+const AloneStats& ExperimentRunner::alone_stats(const KernelProfile& profile) {
+  auto it = alone_cache_.find(profile.abbr);
+  if (it != alone_cache_.end()) return it->second;
+
+  Simulation sim(rc_.gpu, {AppLaunch{profile, app_seed(rc_.base_seed, 0)}});
+  Gpu& gpu = sim.gpu();
+  gpu.set_partition(even_partition(gpu.num_sms(), 1));
+  sim.run(rc_.co_run_cycles);
+
+  AloneStats stats;
+  stats.cycles = gpu.now();
+  stats.ipc = static_cast<double>(gpu.instructions().total(0)) / gpu.now();
+  u64 data_cycles = 0;
+  u64 served = 0;
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const McCounters& mcc = gpu.partition(p).mc().counters();
+    data_cycles += mcc.bus_data_cycles.total(0);
+    served += mcc.requests_served.total(0);
+  }
+  const double capacity =
+      static_cast<double>(gpu.num_partitions()) * gpu.now();
+  stats.bw_util = data_cycles / capacity;
+  stats.served_per_kcycle = 1000.0 * served / gpu.now();
+  return alone_cache_.emplace(profile.abbr, stats).first->second;
+}
+
+Cycle ExperimentRunner::measure_alone_cycles(const KernelProfile& profile,
+                                             u64 seed,
+                                             u64 target_instructions) {
+  Simulation sim(rc_.gpu, {AppLaunch{profile, seed}});
+  Gpu& gpu = sim.gpu();
+  gpu.set_partition(even_partition(gpu.num_sms(), 1));
+  while (gpu.instructions().total(0) < target_instructions &&
+         gpu.now() < rc_.max_alone_cycles) {
+    gpu.cycle();
+  }
+  return gpu.now();
+}
+
+CoRunResult ExperimentRunner::run(const Workload& workload,
+                                  const ModelSet& models, PolicyKind policy,
+                                  const std::vector<int>* sm_split) {
+  const int n = static_cast<int>(workload.apps.size());
+  assert(n >= 1 && n <= kMaxApps);
+
+  std::vector<AppLaunch> launches;
+  launches.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    launches.push_back(
+        AppLaunch{workload.apps[i], app_seed(rc_.base_seed, i)});
+  }
+
+  Simulation sim(rc_.gpu, std::move(launches));
+  Gpu& gpu = sim.gpu();
+
+  // Partition the SMs.
+  if (sm_split != nullptr) {
+    assert(static_cast<int>(sm_split->size()) == n);
+    std::vector<AppId> assignment;
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < (*sm_split)[i]; ++k) {
+        assignment.push_back(i);
+      }
+    }
+    assert(static_cast<int>(assignment.size()) <= gpu.num_sms());
+    assignment.resize(gpu.num_sms(), kInvalidApp);
+    gpu.set_partition(assignment);
+  } else if (policy == PolicyKind::kLeftover) {
+    // Every registered kernel's grid occupies the full GPU, so the first
+    // application takes everything and the rest get the (empty) leftovers.
+    gpu.set_partition(LeftoverPolicy::allocation(
+        gpu.num_sms(), std::vector<int>(n, gpu.num_sms())));
+  } else if (policy == PolicyKind::kTemporal) {
+    gpu.set_partition(std::vector<AppId>(gpu.num_sms(), 0));
+  } else {
+    gpu.set_partition(even_partition(gpu.num_sms(), n));
+  }
+
+  // Attach models and (optionally) a scheduling policy.
+  const bool need_dase = models.dase || policy == PolicyKind::kDaseFair ||
+                         policy == PolicyKind::kDaseQos;
+  std::unique_ptr<DaseModel> dase;
+  std::unique_ptr<MiseModel> mise;
+  std::unique_ptr<AsmModel> asm_model;
+  std::unique_ptr<PriorityEpochDriver> epochs;
+  std::unique_ptr<DaseFairPolicy> fair;
+  std::unique_ptr<DaseQosPolicy> qos;
+  std::unique_ptr<TemporalPolicy> temporal;
+
+  if (need_dase) {
+    dase = std::make_unique<DaseModel>();
+    sim.add_observer(dase.get());
+  }
+  if (models.mise) {
+    mise = std::make_unique<MiseModel>();
+    sim.add_observer(mise.get());
+  }
+  if (models.asm_model) {
+    asm_model = std::make_unique<AsmModel>();
+    sim.add_observer(asm_model.get());
+  }
+  if (models.any_epoch_model()) {
+    epochs = std::make_unique<PriorityEpochDriver>(
+        PriorityEpochDriver::with_defaults(rc_.gpu, n));
+    sim.add_cycle_hook(epochs.get());
+  }
+  if (policy == PolicyKind::kDaseFair) {
+    fair = std::make_unique<DaseFairPolicy>(dase.get());
+    sim.add_observer(fair.get());
+  }
+  if (policy == PolicyKind::kDaseQos) {
+    qos = std::make_unique<DaseQosPolicy>(dase.get(), rc_.qos);
+    sim.add_observer(qos.get());
+  }
+  if (policy == PolicyKind::kTemporal) {
+    temporal = std::make_unique<TemporalPolicy>(rc_.temporal);
+    sim.add_cycle_hook(temporal.get());
+  }
+
+  sim.run(rc_.co_run_cycles);
+
+  CoRunResult result;
+  result.label = workload.label();
+  result.cycles = gpu.now();
+  result.apps.resize(n);
+
+  std::vector<double> actual_slowdowns(n);
+  for (int i = 0; i < n; ++i) {
+    AppResult& app = result.apps[i];
+    app.abbr = workload.apps[i].abbr;
+    app.instructions = gpu.instructions().total(i);
+    app.ipc_shared =
+        static_cast<double>(app.instructions) / result.cycles;
+    if (app.instructions == 0) {
+      // Starved entirely (e.g. LEFTOVER): report the alone IPC and an
+      // effectively unbounded slowdown instead of dividing by zero.
+      app.ipc_alone = alone_stats(workload.apps[i]).ipc;
+      app.actual_slowdown = 1e6;
+      actual_slowdowns[i] = app.actual_slowdown;
+      if (models.dase && dase) app.estimates["DASE"] = dase->mean_slowdown(i);
+      if (mise) app.estimates["MISE"] = mise->mean_slowdown(i);
+      if (asm_model) app.estimates["ASM"] = asm_model->mean_slowdown(i);
+      continue;
+    }
+
+    if (rc_.alone_mode == RunConfig::AloneMode::kExactReplay) {
+      const Cycle alone_cycles = measure_alone_cycles(
+          workload.apps[i], app_seed(rc_.base_seed, i), app.instructions);
+      app.ipc_alone = static_cast<double>(app.instructions) / alone_cycles;
+    } else {
+      app.ipc_alone = alone_stats(workload.apps[i]).ipc;
+    }
+    app.actual_slowdown =
+        app.ipc_shared > 0.0 ? app.ipc_alone / app.ipc_shared : 1.0;
+    app.actual_slowdown = std::max(app.actual_slowdown, 1e-3);
+    actual_slowdowns[i] = app.actual_slowdown;
+
+    if (models.dase && dase) app.estimates["DASE"] = dase->mean_slowdown(i);
+    if (mise) app.estimates["MISE"] = mise->mean_slowdown(i);
+    if (asm_model) app.estimates["ASM"] = asm_model->mean_slowdown(i);
+  }
+
+  result.unfairness = unfairness(actual_slowdowns);
+  result.harmonic_speedup = harmonic_speedup(actual_slowdowns);
+  if (fair) result.repartitions = fair->repartitions();
+  if (qos) result.repartitions = qos->adjustments();
+  if (temporal) result.repartitions = temporal->switches();
+
+  // DRAM bandwidth decomposition over the co-run.
+  const double capacity =
+      static_cast<double>(gpu.num_partitions()) * result.cycles;
+  u64 wasted = 0;
+  u64 idle = 0;
+  result.app_bw_share.assign(n, 0.0);
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const McCounters& mcc = gpu.partition(p).mc().counters();
+    for (int i = 0; i < n; ++i) {
+      result.app_bw_share[i] += mcc.bus_data_cycles.total(i) / capacity;
+    }
+    wasted += mcc.wasted_cycles.total();
+    idle += mcc.idle_cycles.total();
+  }
+  result.wasted_bw_share = wasted / capacity;
+  result.idle_bw_share = idle / capacity;
+  return result;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,56 @@
+// Fixed-width table printer shared by the bench binaries so every
+// reproduced figure/table prints in a uniform, diffable format.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpusim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), col_width_(col_width) {}
+
+  void print_header(std::ostream& os = std::cout) const {
+    for (const auto& h : headers_) {
+      os << std::setw(col_width_) << h;
+    }
+    os << '\n';
+    os << std::string(headers_.size() * col_width_, '-') << '\n';
+  }
+
+  template <typename... Cells>
+  void print_row(Cells&&... cells) const {
+    std::ostream& os = std::cout;
+    (print_cell(os, std::forward<Cells>(cells)), ...);
+    os << '\n';
+  }
+
+  static std::string pct(double fraction, int precision = 1) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << '%';
+    return ss.str();
+  }
+
+  static std::string num(double value, int precision = 3) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return ss.str();
+  }
+
+ private:
+  template <typename T>
+  void print_cell(std::ostream& os, T&& value) const {
+    os << std::setw(col_width_) << value;
+  }
+
+  std::vector<std::string> headers_;
+  int col_width_;
+};
+
+}  // namespace gpusim

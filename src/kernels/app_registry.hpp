@@ -1,0 +1,27 @@
+// Registry of the 15 evaluated applications (paper Table III).
+//
+// Each CUDA benchmark is replaced by a synthetic profile tuned so that its
+// alone-run DRAM bandwidth utilisation on the baseline GPU matches the
+// utilisation the paper reports, while spanning diverse row locality,
+// coalescing, working-set and TLP behaviour (see DESIGN.md Section 2).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "kernels/kernel_profile.hpp"
+
+namespace gpusim {
+
+/// All 15 application profiles, in Table III order.
+const std::vector<KernelProfile>& app_registry();
+
+/// Looks up a profile by its Table III abbreviation (e.g. "SD").
+/// Returns std::nullopt when the abbreviation is unknown.
+std::optional<KernelProfile> find_app(std::string_view abbr);
+
+/// Number of registered applications (15).
+int app_count();
+
+}  // namespace gpusim

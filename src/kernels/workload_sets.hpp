@@ -1,0 +1,33 @@
+// Workload-set builders for the paper's evaluation (Section V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kernels/kernel_profile.hpp"
+
+namespace gpusim {
+
+/// A multiprogrammed workload: the kernels launched concurrently.
+struct Workload {
+  std::vector<KernelProfile> apps;
+  std::string label() const;  ///< e.g. "SD+SA"
+};
+
+/// All C(15,2) = 105 two-application combinations, Table III order.
+std::vector<Workload> all_two_app_workloads();
+
+/// `count` distinct four-application combinations drawn deterministically
+/// from the registry with the given seed (paper: 30 random quads).
+std::vector<Workload> random_four_app_workloads(int count, u64 seed);
+
+/// The five two-application combinations used by the motivation study
+/// (Fig. 2); includes SD+SA, whose unfairness the paper quotes as 2.51.
+std::vector<Workload> motivation_workloads();
+
+/// `count` distinct two-application combinations drawn deterministically
+/// (Fig. 8a uses 30 random pairs).
+std::vector<Workload> random_two_app_workloads(int count, u64 seed);
+
+}  // namespace gpusim

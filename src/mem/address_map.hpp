@@ -1,0 +1,58 @@
+// Physical address decomposition: partition / bank / row.
+//
+// Cache lines interleave across memory partitions at line granularity
+// (channel bits lowest, as on real GPUs, so bandwidth spreads evenly),
+// while within a partition the DRAM address splits as row : bank : column —
+// column bits below bank bits.  A sequential stream therefore fills one
+// 2KB row of one bank before moving to the next bank: streams with high
+// sequential locality earn row-buffer hits, irregular streams pay
+// activate/precharge on nearly every access, and FR-FCFS then prioritises
+// the former over the latter — the asymmetric inter-application
+// interference at the heart of the paper's motivation (Fig. 2).
+#pragma once
+
+#include <cassert>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+struct DramCoordinates {
+  PartitionId partition = 0;
+  int bank = 0;
+  u64 row = 0;
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const GpuConfig& cfg)
+      : line_bytes_(cfg.line_bytes),
+        num_partitions_(cfg.num_partitions),
+        banks_per_mc_(cfg.banks_per_mc),
+        lines_per_row_(cfg.lines_per_row()) {
+    assert(lines_per_row_ > 0);
+  }
+
+  DramCoordinates decode(u64 addr) const {
+    const u64 line = addr / line_bytes_;
+    DramCoordinates c;
+    c.partition = static_cast<PartitionId>(line % num_partitions_);
+    const u64 pline = line / num_partitions_;
+    c.bank = static_cast<int>((pline / lines_per_row_) % banks_per_mc_);
+    c.row = pline / (lines_per_row_ * banks_per_mc_);
+    return c;
+  }
+
+  PartitionId partition_of(u64 addr) const {
+    return static_cast<PartitionId>((addr / line_bytes_) % num_partitions_);
+  }
+
+ private:
+  u64 line_bytes_;
+  u64 num_partitions_;
+  u64 banks_per_mc_;
+  u64 lines_per_row_;
+};
+
+}  // namespace gpusim

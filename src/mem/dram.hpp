@@ -1,0 +1,197 @@
+// DRAM memory controller: FR-FCFS scheduling over banked DRAM with
+// open-page row-buffer policy and a shared data bus (paper Table II:
+// FR-FCFS, 16 banks/MC, 924MHz, tRP = tRCD = 12).
+//
+// The controller keeps one *shared* request queue per memory controller
+// (as GPGPU-Sim does): each cycle it issues at most one command, picking
+// the oldest row-buffer hit whose bank is free, falling back to the oldest
+// request with a free bank.  This is what produces the paper's asymmetric
+// inter-application interference — an application with long row-hit chains
+// and many outstanding requests captures both the queue slots and the
+// scheduler's row-hit preference, while an irregular application's
+// requests wait and pay activate/precharge on nearly every access.
+//
+// Besides simulating timing, the controller integrates — per cycle — the
+// hardware counters the DASE model reads (paper Table I): per-application
+// BLP / BLPAccess occupancy, extra-row-buffer-miss events against the
+// per-bank last-row registers, served-request counts and aggregate
+// in-bank service time.  It also decomposes data-bus occupancy into
+// per-application / wasted / idle shares for the Fig. 2b analysis, and
+// supports the highest-priority-application epochs MISE and ASM rely on.
+#pragma once
+
+#include <array>
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+/// A DRAM command: one cache-line read mapped to (bank, row).
+struct DramCmd {
+  u64 line_addr = 0;
+  AppId app = kInvalidApp;
+  int bank = 0;
+  u64 row = 0;
+  Cycle enqueued = 0;
+};
+
+/// Scalar counter with interval-snapshot semantics.
+class SnapCounter {
+ public:
+  void add(u64 delta = 1) { total_ += delta; }
+  u64 total() const { return total_; }
+  u64 interval() const { return total_ - snap_; }
+  void snapshot() { snap_ = total_; }
+  void reset() { total_ = snap_ = 0; }
+
+ private:
+  u64 total_ = 0;
+  u64 snap_ = 0;
+};
+
+/// Counters exported by one memory controller.
+struct McCounters {
+  // --- DASE Table I counters ---
+  PerAppCounter blp_occupancy_int;  ///< Σ_cycles |banks executing or queued for app|
+  PerAppCounter blp_access_int;     ///< Σ_cycles |banks executing app|
+  PerAppCounter blp_time;           ///< cycles with ≥1 outstanding request
+  PerAppCounter erb_miss;           ///< extra row-buffer misses (Eq. 10)
+  PerAppCounter requests_served;    ///< Request_i
+  PerAppCounter bank_service_time;  ///< Time_request_i (Eq. 12 numerator)
+  PerAppCounter row_hits;           ///< requests served out of an open row
+  PerAppCounter row_misses;         ///< requests paying ACT (and maybe PRE)
+  // --- bandwidth decomposition (Fig. 2b) ---
+  PerAppCounter bus_data_cycles;  ///< data-transfer cycles per app
+  SnapCounter wasted_cycles;      ///< bus idle while timing work in flight
+  SnapCounter idle_cycles;        ///< bus idle, no DRAM work at all
+  // --- MISE/ASM priority-epoch accounting ---
+  PerAppCounter priority_served;  ///< requests served while app had priority
+  PerAppCounter priority_cycles;  ///< cycles the app held priority
+  PerAppCounter nonpriority_served;  ///< requests served with no priority set
+  SnapCounter nonpriority_cycles;    ///< cycles with no priority app
+
+  void snapshot_all() {
+    blp_occupancy_int.snapshot();
+    blp_access_int.snapshot();
+    blp_time.snapshot();
+    erb_miss.snapshot();
+    requests_served.snapshot();
+    bank_service_time.snapshot();
+    row_hits.snapshot();
+    row_misses.snapshot();
+    bus_data_cycles.snapshot();
+    wasted_cycles.snapshot();
+    idle_cycles.snapshot();
+    priority_served.snapshot();
+    priority_cycles.snapshot();
+    nonpriority_served.snapshot();
+    nonpriority_cycles.snapshot();
+  }
+};
+
+class MemoryController {
+ public:
+  MemoryController(const GpuConfig& cfg, int num_apps);
+
+  /// Attempts to enqueue a command into the shared request queue.  Returns
+  /// false when the queue is full (caller must stall and retry) — finite,
+  /// shared buffering is itself an interference channel: a flooding
+  /// application crowds out a sparse one.
+  bool try_enqueue(const DramCmd& cmd);
+
+  bool queue_full() const {
+    return static_cast<int>(queue_.size()) >= queue_capacity_;
+  }
+
+  /// Advances one cycle.  Completed commands are appended to `completed`.
+  void cycle(Cycle now, std::vector<DramCmd>& completed);
+
+  /// Gives `app`'s requests absolute FR-FCFS priority (kInvalidApp clears).
+  /// Used by the MISE/ASM estimation epochs.
+  void set_priority_app(AppId app) { priority_app_ = app; }
+  AppId priority_app() const { return priority_app_; }
+
+  McCounters& counters() { return counters_; }
+  const McCounters& counters() const { return counters_; }
+
+  int outstanding(AppId app) const { return outstanding_[app]; }
+  int total_outstanding() const {
+    int sum = 0;
+    for (int a = 0; a < num_apps_; ++a) sum += outstanding_[a];
+    return sum;
+  }
+
+  // Structural introspection (tests, diagnostics).
+  int queue_size() const { return static_cast<int>(queue_.size()); }
+  int bus_ready_size() const { return static_cast<int>(bus_ready_.size()); }
+  int inflight_size() const { return static_cast<int>(inflight_.size()); }
+  int preparing_banks() const {
+    int n = 0;
+    for (const Bank& b : banks_) n += b.preparing ? 1 : 0;
+    return n;
+  }
+
+ private:
+  /// A bank is only *occupied* while preparing a row (precharge +
+  /// activate).  Column accesses to an open row pipeline through the
+  /// shared data bus — consecutive row hits to the same bank stream
+  /// back-to-back, as on real GDDR.
+  struct Bank {
+    bool row_open = false;
+    u64 open_row = 0;
+    bool preparing = false;
+    DramCmd pending;
+    Cycle prep_done = 0;
+    Cycle prep_issue_start = 0;
+  };
+
+  /// A request whose column access has been scheduled on the data bus.
+  struct InFlight {
+    Cycle complete_at = 0;
+    Cycle issue_start = 0;
+    bool row_hit = false;
+    DramCmd cmd;
+  };
+
+  /// Requests drain from the queue into the committed stages (bank prep +
+  /// bus-ready) only while those hold fewer than this many requests, so
+  /// congested traffic keeps waiting in the reorderable FR-FCFS queue —
+  /// where row-buffer hits retain their scheduling preference — instead of
+  /// piling up in a FIFO bus reservation.
+  static constexpr int kMaxCommitted = 8;
+
+  void retire_inflight(Cycle now, std::vector<DramCmd>& completed);
+  void grant_bus(Cycle now);
+  void finish_preps(Cycle now);
+  void issue_one(Cycle now);
+  void account_cycle(Cycle now);
+
+  const GpuConfig& cfg_;
+  int num_apps_;
+  int queue_capacity_;
+  std::vector<Bank> banks_;
+  std::deque<DramCmd> queue_;       ///< shared FR-FCFS queue, arrival order
+  std::deque<InFlight> bus_ready_;  ///< column accesses awaiting a bus grant
+  std::deque<InFlight> inflight_;   ///< granted accesses, completion order
+  AppId priority_app_ = kInvalidApp;
+
+  Cycle bus_free_at_ = 0;  ///< includes post-burst bus turnaround gap
+
+  std::array<u32, kMaxApps> queued_mask_{};  ///< banks with queued reqs of app
+  std::array<u32, kMaxApps> exec_mask_{};    ///< banks executing app
+  std::array<int, kMaxApps> outstanding_{};  ///< queued + in-service
+  std::vector<std::array<u16, kMaxApps>> queued_per_bank_app_;
+  std::vector<std::array<u16, kMaxApps>> exec_per_bank_app_;
+  std::vector<std::vector<u64>> last_row_;  ///< [app][bank] last-row register
+  std::vector<std::vector<bool>> last_row_valid_;
+
+  McCounters counters_;
+};
+
+}  // namespace gpusim

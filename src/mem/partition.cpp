@@ -1,0 +1,131 @@
+#include "mem/partition.hpp"
+
+#include <cassert>
+
+namespace gpusim {
+
+namespace {
+constexpr int kL2PortsPerCycle = 2;     // request-consumption bandwidth
+constexpr int kRespQueueCapacity = 1024;  // drained 1/cycle by the crossbar
+}  // namespace
+
+MemoryPartition::MemoryPartition(const GpuConfig& cfg, int num_apps,
+                                 PartitionId id)
+    : cfg_(cfg),
+      id_(id),
+      address_map_(cfg),
+      l2_(cfg.l2_num_sets(), cfg.l2_assoc, cfg.line_bytes),
+      mshr_(cfg.l2_mshr_entries),
+      mc_(cfg, num_apps),
+      resp_queue_(kRespQueueCapacity) {
+  atds_.reserve(num_apps);
+  for (int a = 0; a < num_apps; ++a) {
+    atds_.push_back(std::make_unique<SampledAtd>(
+        cfg.l2_num_sets(), cfg.l2_assoc, cfg.line_bytes,
+        cfg.atd_sampled_sets));
+  }
+}
+
+void MemoryPartition::cycle(Cycle now,
+                            BoundedQueue<MemRequestPacket>& in_queue) {
+  // 1. DRAM progress; retire completed lines into the L2 and fan responses
+  //    out to every MSHR waiter.
+  completed_scratch_.clear();
+  mc_.cycle(now, completed_scratch_);
+  for (const DramCmd& done : completed_scratch_) {
+    l2_.fill(done.line_addr, done.app);
+    for (const MshrWaiter& w : mshr_.release(done.line_addr)) {
+      MemResponsePacket resp;
+      resp.line_addr = done.line_addr;
+      resp.app = w.app;
+      resp.sm = w.sm;
+      resp.warp = w.warp;
+      resp.ready = now + cfg_.l2_miss_extra_latency;
+      const bool pushed = resp_queue_.try_push(resp);
+      assert(pushed && "partition response queue overflow");
+      (void)pushed;
+    }
+  }
+
+  // 2. Matured L2 hits become responses.
+  while (!pending_hits_.empty() && pending_hits_.front().ready <= now) {
+    const bool pushed = resp_queue_.try_push(pending_hits_.front());
+    assert(pushed && "partition response queue overflow");
+    (void)pushed;
+    pending_hits_.pop_front();
+  }
+
+  // 3. L2 demand stage: consume the crossbar input queue.
+  auto note_access = [&](AppId app) {
+    counters_.l2_accesses.add(app);
+    if (mc_.priority_app() == app) {
+      counters_.l2_accesses_priority.add(app);
+    } else if (mc_.priority_app() == kInvalidApp) {
+      counters_.l2_accesses_nonpriority.add(app);
+    }
+  };
+  for (int port = 0; port < kL2PortsPerCycle; ++port) {
+    if (in_queue.empty() || in_queue.front().ready > now) break;
+    const MemRequestPacket& req = in_queue.front();
+    const u64 line = req.line_addr;
+
+    if (mshr_.contains(line)) {
+      // Merge into the in-flight miss; no new DRAM request, no ATD change
+      // (the primary miss already updated the alone-model).
+      note_access(req.app);
+      mshr_.allocate(line, {req.sm, req.warp, req.app});
+      in_queue.pop();
+      continue;
+    }
+
+    const bool hit = l2_.probe(line);
+    if (!hit) {
+      // Need both an MSHR slot and a bank-queue slot before consuming.
+      const DramCoordinates coords = address_map_.decode(line);
+      if (mshr_.full() || mc_.queue_full()) break;
+
+      note_access(req.app);
+      l2_.lookup_touch(line, req.app);  // records the miss
+      // DASE Eq. 13 contention-miss detection: an L2 miss that hits in the
+      // application's private (alone-model) tag directory means the line
+      // was evicted by a co-runner.
+      SampledAtd& atd = *atds_[req.app];
+      if (atd.is_sampled(line)) {
+        if (atd.access(line)) {
+          atd.record_extra_miss();
+          counters_.atd_extra_miss_samples.add(req.app);
+        }
+      }
+      mshr_.allocate(line, {req.sm, req.warp, req.app});
+      DramCmd cmd;
+      cmd.line_addr = line;
+      cmd.app = req.app;
+      cmd.bank = coords.bank;
+      cmd.row = coords.row;
+      cmd.enqueued = now;
+      const bool queued = mc_.try_enqueue(cmd);
+      assert(queued && "MC queue full after capacity check");
+      (void)queued;
+      in_queue.pop();
+      continue;
+    }
+
+    // L2 hit.
+    note_access(req.app);
+    counters_.l2_hits.add(req.app);
+    l2_.lookup_touch(line, req.app);
+    SampledAtd& atd = *atds_[req.app];
+    if (atd.is_sampled(line)) atd.access(line);
+
+    MemResponsePacket resp;
+    resp.line_addr = line;
+    resp.app = req.app;
+    resp.sm = req.sm;
+    resp.warp = req.warp;
+    resp.ready = now + cfg_.l2_hit_latency;
+    pending_hits_.push_back(resp);
+    in_queue.pop();
+  }
+}
+
+}  // namespace gpusim

@@ -1,0 +1,94 @@
+// A memory partition: one shared-L2 slice, its MSHRs, the per-application
+// sampled auxiliary tag directories, and the DRAM memory controller behind
+// them (paper Fig. 1: "each memory partition has a L2 cache and a DRAM
+// memory subsystem").
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/atd.hpp"
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mem/address_map.hpp"
+#include "mem/dram.hpp"
+#include "mem/request.hpp"
+
+namespace gpusim {
+
+/// Per-partition counters beyond the MC's own.
+struct PartitionCounters {
+  PerAppCounter l2_accesses;
+  PerAppCounter l2_hits;
+  /// DASE's ELLCMiss events observed in the sampled ATD sets (raw, unscaled).
+  PerAppCounter atd_extra_miss_samples;
+  /// L2 accesses while the app held / nobody held DRAM priority — the
+  /// cache-access-rate inputs of the ASM baseline.
+  PerAppCounter l2_accesses_priority;
+  PerAppCounter l2_accesses_nonpriority;
+
+  void snapshot_all() {
+    l2_accesses.snapshot();
+    l2_hits.snapshot();
+    atd_extra_miss_samples.snapshot();
+    l2_accesses_priority.snapshot();
+    l2_accesses_nonpriority.snapshot();
+  }
+};
+
+class MemoryPartition {
+ public:
+  MemoryPartition(const GpuConfig& cfg, int num_apps, PartitionId id);
+
+  /// Output queue the response crossbar drains.
+  BoundedQueue<MemResponsePacket>& resp_queue() { return resp_queue_; }
+
+  /// Advances one cycle: progresses DRAM, retires fills, consumes the
+  /// request crossbar's delivery queue `in_queue` through the L2 stage.
+  void cycle(Cycle now, BoundedQueue<MemRequestPacket>& in_queue);
+
+  MemoryController& mc() { return mc_; }
+  const MemoryController& mc() const { return mc_; }
+  PartitionCounters& counters() { return counters_; }
+  const PartitionCounters& counters() const { return counters_; }
+  const SetAssocCache& l2() const { return l2_; }
+  const SampledAtd& atd(AppId app) const { return *atds_[app]; }
+
+  /// Scaled ELLCMiss (Eq. 13) accumulated since the last snapshot.
+  u64 interval_scaled_extra_misses(AppId app) const {
+    return counters_.atd_extra_miss_samples.interval(app) *
+           static_cast<u64>(1.0 / atds_[app]->sample_fraction() + 0.5);
+  }
+
+  /// Outstanding work in this partition (for drain checks).
+  bool quiescent() const {
+    return resp_queue_.empty() && mshr_.in_flight() == 0 &&
+           pending_hits_.empty() && mc_.total_outstanding() == 0;
+  }
+
+ private:
+  void handle_request(const MemRequestPacket& req, Cycle now);
+
+  const GpuConfig& cfg_;
+  PartitionId id_;
+  AddressMap address_map_;
+  SetAssocCache l2_;
+  Mshr mshr_;
+  std::vector<std::unique_ptr<SampledAtd>> atds_;
+  MemoryController mc_;
+
+  BoundedQueue<MemResponsePacket> resp_queue_;
+
+  /// L2 hits in flight: responses mature after l2_hit_latency (FIFO works
+  /// because the latency is constant).
+  std::deque<MemResponsePacket> pending_hits_;
+
+  std::vector<DramCmd> completed_scratch_;
+  PartitionCounters counters_;
+};
+
+}  // namespace gpusim

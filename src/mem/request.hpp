@@ -1,0 +1,30 @@
+// Memory request/response packets exchanged between SMs, the interconnect
+// and the memory partitions.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gpusim {
+
+/// A cache-line read request travelling SM -> crossbar -> partition.
+/// (The evaluated kernels are modelled as read-dominated, as in the paper's
+/// bandwidth analysis; writes would follow the same path.)
+struct MemRequestPacket {
+  u64 line_addr = 0;  ///< Line-aligned byte address.
+  AppId app = kInvalidApp;
+  SmId sm = kInvalidSm;
+  WarpId warp = -1;
+  PartitionId dest = -1;
+  Cycle ready = 0;  ///< Earliest cycle the packet may be consumed (NoC latency).
+};
+
+/// A fill/ack travelling partition -> crossbar -> SM.
+struct MemResponsePacket {
+  u64 line_addr = 0;
+  AppId app = kInvalidApp;
+  SmId sm = kInvalidSm;
+  WarpId warp = -1;
+  Cycle ready = 0;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,37 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace gpusim {
+
+double unfairness(std::span<const double> slowdowns) {
+  assert(!slowdowns.empty());
+  const auto [lo, hi] =
+      std::minmax_element(slowdowns.begin(), slowdowns.end());
+  assert(*lo > 0.0);
+  return *hi / *lo;
+}
+
+double harmonic_speedup(std::span<const double> slowdowns) {
+  assert(!slowdowns.empty());
+  double sum = 0.0;
+  for (double s : slowdowns) {
+    assert(s > 0.0);
+    sum += s;
+  }
+  return static_cast<double>(slowdowns.size()) / sum;
+}
+
+double estimation_error(double estimated, double actual) {
+  assert(actual > 0.0);
+  return std::abs(estimated - actual) / actual;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace gpusim

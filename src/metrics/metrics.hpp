@@ -1,0 +1,24 @@
+// Evaluation metrics (paper Eq. 1, 2, 26, 27).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace gpusim {
+
+/// Eq. 2: Unfairness = MAX(slowdown_i) / MIN(slowdown_i); 1.0 is ideal.
+double unfairness(std::span<const double> slowdowns);
+
+/// Eq. 27: Harmonic speedup = N / Σ (IPC_alone / IPC_shared)
+///                          = N / Σ slowdown_i.
+double harmonic_speedup(std::span<const double> slowdowns);
+
+/// Eq. 26: |estimated - actual| / actual, as a fraction (0.088 = 8.8%).
+double estimation_error(double estimated, double actual);
+
+/// Arithmetic mean of a sample set (0 when empty).
+double mean(std::span<const double> values);
+
+}  // namespace gpusim

@@ -1,0 +1,96 @@
+// Crossbar interconnect channel (paper Table II: one crossbar per
+// direction, Local-RR arbitration).
+//
+// One CrossbarChannel models one direction: N source ports (FIFOs owned by
+// the producers) feeding M destination ports (FIFOs owned by the channel).
+// Each cycle every destination port independently round-robins over the
+// sources, accepting up to `accepts_per_cycle` head-of-queue packets routed
+// to it; each source may inject at most one packet per cycle (its output
+// port is a single link).  Accepted packets become visible at the
+// destination after `latency` cycles.  Head-of-line blocking at the source
+// FIFOs and finite destination buffering are modelled deliberately — both
+// are interference channels between concurrent applications.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+template <typename Packet>
+class CrossbarChannel {
+ public:
+  using RouteFn = std::function<int(const Packet&)>;
+
+  CrossbarChannel(int num_sources, int num_dests, Cycle latency,
+                  int accepts_per_cycle, int dest_queue_depth,
+                  RouteFn route)
+      : latency_(latency),
+        accepts_per_cycle_(accepts_per_cycle),
+        route_(std::move(route)),
+        rr_(num_dests, 0),
+        source_sent_(num_sources, 0) {
+    assert(num_sources > 0 && num_dests > 0 && accepts_per_cycle > 0);
+    dest_queues_.reserve(num_dests);
+    for (int d = 0; d < num_dests; ++d) {
+      dest_queues_.emplace_back(dest_queue_depth);
+    }
+  }
+
+  /// Moves packets from source FIFOs to destination FIFOs for one cycle.
+  /// `sources[s]` is the output FIFO of source port s.
+  void transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
+    const int num_sources = static_cast<int>(sources.size());
+    assert(num_sources == static_cast<int>(source_sent_.size()));
+    std::fill(source_sent_.begin(), source_sent_.end(), 0);
+
+    for (int d = 0; d < static_cast<int>(dest_queues_.size()); ++d) {
+      BoundedQueue<Packet>& dq = dest_queues_[d];
+      int accepted = 0;
+      for (int k = 0; k < num_sources && accepted < accepts_per_cycle_; ++k) {
+        const int s = (rr_[d] + k) % num_sources;
+        if (source_sent_[s]) continue;
+        BoundedQueue<Packet>& sq = *sources[s];
+        if (sq.empty()) continue;
+        if (sq.front().ready > now) continue;  // not yet injected (fill delay)
+        if (route_(sq.front()) != d) continue;
+        if (dq.full()) break;  // destination buffer back-pressure
+        Packet p = sq.pop();
+        p.ready = now + latency_;
+        const bool ok = dq.try_push(std::move(p));
+        assert(ok);
+        (void)ok;
+        source_sent_[s] = 1;
+        ++accepted;
+        rr_[d] = (s + 1) % num_sources;
+      }
+    }
+  }
+
+  BoundedQueue<Packet>& dest_queue(int d) { return dest_queues_[d]; }
+  const BoundedQueue<Packet>& dest_queue(int d) const {
+    return dest_queues_[d];
+  }
+  int num_dests() const { return static_cast<int>(dest_queues_.size()); }
+
+  bool all_empty() const {
+    for (const auto& q : dest_queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  Cycle latency_;
+  int accepts_per_cycle_;
+  RouteFn route_;
+  std::vector<BoundedQueue<Packet>> dest_queues_;
+  std::vector<int> rr_;
+  std::vector<u8> source_sent_;
+};
+
+}  // namespace gpusim

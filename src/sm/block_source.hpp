@@ -1,0 +1,29 @@
+// Interface through which an SM obtains thread blocks of its assigned
+// kernel (the "SM driver" of the paper's Section II: when all warps of a
+// thread block finish, a new block is assigned to occupy freed resources).
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "kernels/kernel_profile.hpp"
+
+namespace gpusim {
+
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  /// Allocates the next thread block; std::nullopt when the grid is
+  /// exhausted and the launcher does not restart the kernel.
+  virtual std::optional<u64> try_alloc_block() = 0;
+
+  /// Called when every warp of the block has retired.
+  virtual void on_block_complete(u64 block_index) = 0;
+
+  virtual const KernelProfile& profile() const = 0;
+  virtual AppId app() const = 0;
+  virtual u64 app_seed() const = 0;
+};
+
+}  // namespace gpusim

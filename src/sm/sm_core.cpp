@@ -1,0 +1,275 @@
+#include "sm/sm_core.hpp"
+
+#include <cassert>
+
+namespace gpusim {
+
+namespace {
+constexpr int kTxnDispatchPerCycle = 2;  // L1/LSU transaction bandwidth
+constexpr int kOutQueueDepth = 16;
+}  // namespace
+
+SmCore::SmCore(const GpuConfig& cfg, SmId id, const AddressMap& address_map)
+    : cfg_(cfg),
+      id_(id),
+      address_map_(address_map),
+      l1_(cfg.l1_num_sets(), cfg.l1_assoc, cfg.line_bytes),
+      l1_mshr_(cfg.l1_mshr_entries),
+      out_queue_(kOutQueueDepth) {
+  warps_.resize(cfg.max_warps_per_sm);
+  blocks_.resize(cfg.max_blocks_per_sm);
+}
+
+void SmCore::assign(BlockSource* source) {
+  assert(source != nullptr);
+  assert(source_ == nullptr && "assign() on an SM that was not released");
+  source_ = source;
+  draining_ = false;
+  refill_blocks();
+}
+
+bool SmCore::drained() const {
+  if (!pending_txns_.empty() || !local_hits_.empty() || !out_queue_.empty() ||
+      l1_mshr_.in_flight() != 0) {
+    return false;
+  }
+  for (const WarpCtx& w : warps_) {
+    if (w.state == WarpCtx::State::kReady ||
+        w.state == WarpCtx::State::kWaitingMem) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SmCore::release() {
+  assert(drained() && "release() of an SM still holding work");
+  source_ = nullptr;
+  draining_ = false;
+  last_issued_ = -1;
+  for (WarpCtx& w : warps_) w = WarpCtx{};
+  for (BlockSlot& b : blocks_) b = BlockSlot{};
+  l1_.clear();
+  l1_mshr_.clear();
+}
+
+int SmCore::max_concurrent_blocks() const {
+  if (source_ == nullptr) return 0;
+  const KernelProfile& profile = source_->profile();
+  const int by_warps = cfg_.max_warps_per_sm / profile.warps_per_block;
+  int limit = std::min(cfg_.max_blocks_per_sm, std::max(1, by_warps));
+  if (profile.max_concurrent_blocks > 0) {
+    limit = std::min(limit, profile.max_concurrent_blocks);
+  }
+  return limit;
+}
+
+int SmCore::active_blocks() const {
+  int n = 0;
+  for (const BlockSlot& b : blocks_) n += b.active ? 1 : 0;
+  return n;
+}
+
+int SmCore::live_warps() const {
+  int n = 0;
+  for (const WarpCtx& w : warps_) {
+    n += (w.state == WarpCtx::State::kReady ||
+          w.state == WarpCtx::State::kWaitingMem)
+             ? 1
+             : 0;
+  }
+  return n;
+}
+
+void SmCore::refill_blocks() {
+  if (source_ == nullptr || draining_) return;
+  const int limit = max_concurrent_blocks();
+  if (active_blocks() >= limit) return;
+  const KernelProfile& profile = source_->profile();
+
+  for (int slot = 0; slot < static_cast<int>(blocks_.size()); ++slot) {
+    if (blocks_[slot].active) continue;
+    if (active_blocks() >= limit) break;
+    // Gather free warp contexts for one block.
+    std::vector<int> free_ctxs;
+    for (int w = 0; w < static_cast<int>(warps_.size()); ++w) {
+      if (warps_[w].state == WarpCtx::State::kUnused ||
+          warps_[w].state == WarpCtx::State::kDone) {
+        free_ctxs.push_back(w);
+        if (static_cast<int>(free_ctxs.size()) == profile.warps_per_block) {
+          break;
+        }
+      }
+    }
+    if (static_cast<int>(free_ctxs.size()) < profile.warps_per_block) break;
+    const std::optional<u64> block = source_->try_alloc_block();
+    if (!block.has_value()) break;
+
+    blocks_[slot].active = true;
+    blocks_[slot].block_index = *block;
+    blocks_[slot].warps_remaining = profile.warps_per_block;
+    blocks_[slot].stream = AddressStream::make_block_stream(
+        profile, source_->app_seed(), *block);
+    for (int i = 0; i < profile.warps_per_block; ++i) {
+      WarpCtx& w = warps_[free_ctxs[i]];
+      w = WarpCtx{};
+      w.state = WarpCtx::State::kReady;
+      w.budget = profile.instrs_per_warp;
+      w.block_slot = slot;
+      w.stream.emplace(&profile, source_->app(), source_->app_seed(), *block,
+                       i, &blocks_[slot].stream);
+      w.compute_remaining = w.stream->next_compute_run();
+    }
+  }
+}
+
+void SmCore::cycle(Cycle now) {
+  // 1. Mature L1 hits.
+  while (!local_hits_.empty() && local_hits_.front().first <= now) {
+    complete_txn(local_hits_.front().second);
+    local_hits_.pop_front();
+  }
+
+  // 2. Dispatch pending memory transactions through the L1.
+  dispatch_pending(now);
+
+  // 3. Issue stage.
+  issue(now);
+
+  // 4. Keep block slots occupied.
+  refill_blocks();
+}
+
+void SmCore::dispatch_pending(Cycle now) {
+  for (int n = 0; n < kTxnDispatchPerCycle && !pending_txns_.empty(); ++n) {
+    const PendingTxn txn = pending_txns_.front();
+    const u64 line = txn.addr;
+
+    if (l1_mshr_.contains(line)) {
+      counters_.l1_accesses.add();
+      l1_mshr_.allocate(line, {id_, txn.warp, app()});
+      pending_txns_.pop_front();
+      continue;
+    }
+    if (l1_.probe(line)) {
+      counters_.l1_accesses.add();
+      l1_.lookup_touch(line, app());
+      counters_.l1_hits.add();
+      local_hits_.emplace_back(now + cfg_.l1_hit_latency, txn.warp);
+      pending_txns_.pop_front();
+      continue;
+    }
+    if (l1_mshr_.full() || out_queue_.full()) break;  // retry next cycle
+    counters_.l1_accesses.add();
+    l1_.lookup_touch(line, app());  // records the L1 miss
+    l1_mshr_.allocate(line, {id_, txn.warp, app()});
+    MemRequestPacket pkt;
+    pkt.line_addr = line;
+    pkt.app = app();
+    pkt.sm = id_;
+    pkt.warp = txn.warp;
+    pkt.dest = address_map_.partition_of(line);
+    pkt.ready = now;
+    const bool pushed = out_queue_.try_push(pkt);
+    assert(pushed);
+    (void)pushed;
+    pending_txns_.pop_front();
+  }
+}
+
+void SmCore::issue(Cycle now) {
+  (void)now;
+  // Greedy-then-oldest: stick with the last issued warp while it stays
+  // ready, otherwise take the lowest-indexed ready warp.
+  WarpId pick = -1;
+  if (last_issued_ >= 0 &&
+      warps_[last_issued_].state == WarpCtx::State::kReady) {
+    pick = last_issued_;
+  } else {
+    for (int w = 0; w < static_cast<int>(warps_.size()); ++w) {
+      if (warps_[w].state == WarpCtx::State::kReady) {
+        pick = w;
+        break;
+      }
+    }
+  }
+
+  if (pick < 0) {
+    bool any_waiting = false;
+    bool any_live = false;
+    for (const WarpCtx& w : warps_) {
+      any_waiting |= w.state == WarpCtx::State::kWaitingMem;
+      any_live |= w.state != WarpCtx::State::kUnused &&
+                  w.state != WarpCtx::State::kDone;
+    }
+    if (any_waiting) {
+      counters_.mem_stall_cycles.add();
+    } else if (!any_live) {
+      counters_.idle_cycles.add();
+    }
+    return;
+  }
+
+  WarpCtx& warp = warps_[pick];
+  last_issued_ = pick;
+  counters_.instructions.add();
+  counters_.issue_cycles.add();
+  if (instr_sink_ != nullptr) instr_sink_->add(app());
+  ++warp.instrs_done;
+
+  if (warp.compute_remaining > 0) {
+    --warp.compute_remaining;
+    if (warp.instrs_done >= warp.budget) retire_warp(pick);
+    return;
+  }
+
+  // Memory instruction: generate coalesced transactions.
+  counters_.mem_instructions.add();
+  addr_scratch_.clear();
+  warp.stream->next_mem_instr(addr_scratch_);
+  warp.compute_remaining = warp.stream->next_compute_run();
+  warp.outstanding = static_cast<int>(addr_scratch_.size());
+  warp.state = WarpCtx::State::kWaitingMem;
+  for (u64 addr : addr_scratch_) {
+    pending_txns_.push_back({pick, addr});
+  }
+}
+
+void SmCore::complete_txn(WarpId warp_id) {
+  WarpCtx& warp = warps_[warp_id];
+  assert(warp.state == WarpCtx::State::kWaitingMem && warp.outstanding > 0);
+  if (--warp.outstanding == 0) {
+    if (warp.instrs_done >= warp.budget) {
+      retire_warp(warp_id);
+    } else {
+      warp.state = WarpCtx::State::kReady;
+    }
+  }
+}
+
+void SmCore::retire_warp(WarpId warp_id) {
+  WarpCtx& warp = warps_[warp_id];
+  warp.state = WarpCtx::State::kDone;
+  BlockSlot& block = blocks_[warp.block_slot];
+  assert(block.active && block.warps_remaining > 0);
+  if (--block.warps_remaining == 0) {
+    block.active = false;
+    source_->on_block_complete(block.block_index);
+    // Free every context of this block for reuse.
+    for (WarpCtx& w : warps_) {
+      if (w.block_slot == warp.block_slot &&
+          w.state == WarpCtx::State::kDone) {
+        w = WarpCtx{};
+      }
+    }
+  }
+}
+
+void SmCore::receive(const MemResponsePacket& resp) {
+  l1_.fill(resp.line_addr, resp.app);
+  for (const MshrWaiter& w : l1_mshr_.release(resp.line_addr)) {
+    complete_txn(w.warp);
+  }
+}
+
+}  // namespace gpusim

@@ -1,0 +1,150 @@
+// Streaming Multiprocessor model.
+//
+// Each SM runs thread blocks of exactly one application (spatial
+// multitasking partitions whole SMs).  Per cycle it issues at most one warp
+// instruction, selected greedy-then-oldest; memory instructions generate
+// coalesced line transactions that probe the private L1 and, on miss,
+// travel through the crossbar to a shared memory partition.  Warps block
+// until all their transactions respond — surviving warps supply the
+// thread-level parallelism that hides memory latency, and the cycles where
+// no warp can issue while at least one waits on memory form the stall
+// fraction α the DASE model consumes (paper Eq. 15).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/mshr.hpp"
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "kernels/address_stream.hpp"
+#include "mem/address_map.hpp"
+#include "mem/dram.hpp"  // SnapCounter
+#include "mem/request.hpp"
+#include "sm/block_source.hpp"
+
+namespace gpusim {
+
+struct SmCounters {
+  SnapCounter instructions;      ///< warp instructions issued
+  SnapCounter mem_stall_cycles;  ///< no issue while ≥1 warp waits on memory
+  SnapCounter issue_cycles;      ///< cycles with an instruction issued
+  SnapCounter idle_cycles;       ///< no resident live warps
+  SnapCounter mem_instructions;  ///< memory instructions issued
+  SnapCounter l1_accesses;
+  SnapCounter l1_hits;
+
+  void snapshot_all() {
+    instructions.snapshot();
+    mem_stall_cycles.snapshot();
+    issue_cycles.snapshot();
+    idle_cycles.snapshot();
+    mem_instructions.snapshot();
+    l1_accesses.snapshot();
+    l1_hits.snapshot();
+  }
+};
+
+class SmCore {
+ public:
+  SmCore(const GpuConfig& cfg, SmId id, const AddressMap& address_map);
+
+  /// Assigns this SM to an application.  The SM must be unassigned or
+  /// fully drained.
+  void assign(BlockSource* source);
+
+  /// Stops fetching new thread blocks; resident work runs to completion
+  /// (the paper's "SM draining" migration primitive).
+  void start_drain() { draining_ = true; }
+  /// Cancels a drain whose repartition request was superseded.
+  void cancel_drain() { draining_ = false; }
+  bool draining() const { return draining_; }
+
+  /// True when no resident warps, no in-flight memory traffic, and no
+  /// queued outbound packets remain.
+  bool drained() const;
+
+  /// Detaches from the current application (requires drained()), clearing
+  /// the L1 as a real kernel switch would.
+  void release();
+
+  /// One core cycle: matures L1 hits, dispatches pending transactions,
+  /// issues at most one warp instruction, and refills free block slots.
+  void cycle(Cycle now);
+
+  /// Delivers a memory response from the interconnect.
+  void receive(const MemResponsePacket& resp);
+
+  BoundedQueue<MemRequestPacket>& out_queue() { return out_queue_; }
+
+  /// Optional per-application instruction counter (owned by the GPU) that
+  /// issue() also increments, so per-app IPC survives SM reassignment.
+  void set_instr_sink(PerAppCounter* sink) { instr_sink_ = sink; }
+
+  AppId app() const { return source_ != nullptr ? source_->app() : kInvalidApp; }
+  bool assigned() const { return source_ != nullptr; }
+  SmId id() const { return id_; }
+  SmCounters& counters() { return counters_; }
+  const SmCounters& counters() const { return counters_; }
+  const SetAssocCache& l1() const { return l1_; }
+
+  /// Resident thread blocks currently executing (TB_shared of Eq. 24).
+  int active_blocks() const;
+  int live_warps() const;
+
+ private:
+  struct WarpCtx {
+    enum class State : u8 { kUnused, kReady, kWaitingMem, kDone };
+    State state = State::kUnused;
+    u64 instrs_done = 0;
+    u64 budget = 0;
+    u64 compute_remaining = 0;
+    int outstanding = 0;
+    int block_slot = -1;
+    std::optional<AddressStream> stream;
+  };
+
+  struct BlockSlot {
+    bool active = false;
+    u64 block_index = 0;
+    int warps_remaining = 0;
+    BlockStream stream;  ///< sequential front shared by the block's warps
+  };
+
+  struct PendingTxn {
+    WarpId warp;
+    u64 addr;
+  };
+
+  void refill_blocks();
+  void dispatch_pending(Cycle now);
+  void issue(Cycle now);
+  void complete_txn(WarpId warp);
+  void retire_warp(WarpId warp);
+  int max_concurrent_blocks() const;
+
+  const GpuConfig& cfg_;
+  SmId id_;
+  const AddressMap& address_map_;
+  BlockSource* source_ = nullptr;
+  bool draining_ = false;
+
+  std::vector<WarpCtx> warps_;
+  std::vector<BlockSlot> blocks_;
+  std::deque<PendingTxn> pending_txns_;
+  std::deque<std::pair<Cycle, WarpId>> local_hits_;  // (ready, warp), FIFO
+
+  SetAssocCache l1_;
+  Mshr l1_mshr_;
+  BoundedQueue<MemRequestPacket> out_queue_;
+
+  WarpId last_issued_ = -1;
+  std::vector<u64> addr_scratch_;
+  SmCounters counters_;
+  PerAppCounter* instr_sink_ = nullptr;
+};
+
+}  // namespace gpusim

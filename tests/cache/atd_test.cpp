@@ -1,0 +1,95 @@
+#include "cache/atd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gpusim {
+namespace {
+
+constexpr int kLine = 128;
+
+TEST(AtdTest, SamplingStrideSelectsEveryNthSet) {
+  SampledAtd atd(128, 8, kLine, 8);  // stride 16
+  int sampled = 0;
+  for (int set = 0; set < 128; ++set) {
+    const u64 addr = static_cast<u64>(set) * kLine;
+    if (atd.is_sampled(addr)) {
+      ++sampled;
+      EXPECT_EQ(set % 16, 0);
+    }
+  }
+  EXPECT_EQ(sampled, 8);
+  EXPECT_DOUBLE_EQ(atd.sample_fraction(), 8.0 / 128.0);
+}
+
+TEST(AtdTest, HitAfterInstall) {
+  SampledAtd atd(128, 8, kLine, 8);
+  const u64 addr = 0;  // set 0, sampled
+  ASSERT_TRUE(atd.is_sampled(addr));
+  EXPECT_FALSE(atd.access(addr));
+  EXPECT_TRUE(atd.access(addr));
+}
+
+TEST(AtdTest, DistinctLinesInSameSampledSetDoNotAlias) {
+  SampledAtd atd(128, 2, kLine, 8);
+  // Two lines mapping to shadow set 0 but different tags.
+  const u64 a = 0;
+  const u64 b = static_cast<u64>(128) * kLine;  // one full wrap
+  ASSERT_TRUE(atd.is_sampled(a));
+  ASSERT_TRUE(atd.is_sampled(b));
+  EXPECT_FALSE(atd.access(a));
+  EXPECT_FALSE(atd.access(b));
+  EXPECT_TRUE(atd.access(a));
+  EXPECT_TRUE(atd.access(b));
+}
+
+TEST(AtdTest, DifferentSampledSetsAreIndependent) {
+  SampledAtd atd(128, 1, kLine, 8);  // 1-way: second fill in a set evicts
+  const u64 set0 = 0;
+  const u64 set16 = 16 * kLine;
+  ASSERT_TRUE(atd.is_sampled(set16));
+  atd.access(set0);
+  atd.access(set16);
+  EXPECT_TRUE(atd.access(set0)) << "set 16 must not evict set 0";
+}
+
+TEST(AtdTest, LruEvictionWithinSampledSet) {
+  SampledAtd atd(128, 2, kLine, 8);
+  const u64 wrap = static_cast<u64>(128) * kLine;
+  atd.access(0);
+  atd.access(wrap);
+  atd.access(2 * wrap);  // evicts line 0 (LRU)
+  EXPECT_FALSE(atd.access(0));
+  EXPECT_TRUE(atd.access(2 * wrap));
+}
+
+TEST(AtdTest, ScaledMissesMultiplyByStride) {
+  SampledAtd atd(128, 8, kLine, 8);
+  EXPECT_EQ(atd.scaled_extra_misses(), 0u);
+  atd.record_extra_miss();
+  atd.record_extra_miss();
+  EXPECT_EQ(atd.sample_extra_misses(), 2u);
+  EXPECT_EQ(atd.scaled_extra_misses(), 2u * 16u);  // Eq. 13
+}
+
+TEST(AtdTest, ClearResetsDirectoryAndCounters) {
+  SampledAtd atd(128, 8, kLine, 8);
+  atd.access(0);
+  atd.record_extra_miss();
+  atd.clear();
+  EXPECT_EQ(atd.sample_extra_misses(), 0u);
+  EXPECT_FALSE(atd.access(0));
+}
+
+TEST(AtdTest, FullSamplingDegeneratesToFullDirectory) {
+  SampledAtd atd(16, 4, kLine, 16);  // stride 1: everything sampled
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(atd.is_sampled(rng.next_u64() & ~(u64{kLine} - 1)));
+  }
+  EXPECT_DOUBLE_EQ(atd.sample_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,93 @@
+#include "common/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gpusim {
+namespace {
+
+TEST(ConfigIoTest, RoundTripPreservesEveryField) {
+  GpuConfig original;
+  original.num_sms = 8;
+  original.banks_per_mc = 8;
+  original.estimation_interval = 25'000;
+  original.requestmax_factor = 0.45;
+  original.alpha_clamp_enabled = false;
+  original.t_miss_bubble_dram = 7;
+  original.dram_clock_ratio = 1.25;
+
+  std::stringstream ss;
+  write_config(ss, original);
+  const GpuConfig parsed = read_config(ss);
+
+  EXPECT_EQ(parsed.num_sms, 8);
+  EXPECT_EQ(parsed.banks_per_mc, 8);
+  EXPECT_EQ(parsed.estimation_interval, 25'000u);
+  EXPECT_DOUBLE_EQ(parsed.requestmax_factor, 0.45);
+  EXPECT_FALSE(parsed.alpha_clamp_enabled);
+  EXPECT_EQ(parsed.t_miss_bubble_dram, 7);
+  EXPECT_DOUBLE_EQ(parsed.dram_clock_ratio, 1.25);
+}
+
+TEST(ConfigIoTest, PartialFileKeepsDefaults) {
+  std::stringstream ss("num_sms = 4\n");
+  const GpuConfig cfg = read_config(ss);
+  EXPECT_EQ(cfg.num_sms, 4);
+  EXPECT_EQ(cfg.num_partitions, 6);  // untouched default
+}
+
+TEST(ConfigIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "num_sms = 12  # trailing comment\n"
+      "   \t  \n");
+  EXPECT_EQ(read_config(ss).num_sms, 12);
+}
+
+TEST(ConfigIoTest, UnknownKeyRejected) {
+  std::stringstream ss("nmu_sms = 4\n");
+  EXPECT_THROW(read_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIoTest, MalformedValueRejected) {
+  std::stringstream bad_number("num_sms = four\n");
+  EXPECT_THROW(read_config(bad_number), std::invalid_argument);
+  std::stringstream no_equals("num_sms 4\n");
+  EXPECT_THROW(read_config(no_equals), std::invalid_argument);
+  std::stringstream bad_bool("alpha_clamp_enabled = maybe\n");
+  EXPECT_THROW(read_config(bad_bool), std::invalid_argument);
+}
+
+TEST(ConfigIoTest, InvalidResultingConfigRejected) {
+  std::stringstream ss("num_sms = 0\n");
+  EXPECT_THROW(read_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "gpusim_cfg_test.cfg";
+  GpuConfig cfg;
+  cfg.num_sms = 4;
+  save_config(path, cfg);
+  const GpuConfig loaded = load_config(path);
+  EXPECT_EQ(loaded.num_sms, 4);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_config("/nonexistent/path/gpusim.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigIoTest, BoolAcceptsNumericForms) {
+  std::stringstream ss("alpha_clamp_enabled = 0\n");
+  EXPECT_FALSE(read_config(ss).alpha_clamp_enabled);
+  std::stringstream ss2("alpha_clamp_enabled = 1\n");
+  EXPECT_TRUE(read_config(ss2).alpha_clamp_enabled);
+}
+
+}  // namespace
+}  // namespace gpusim

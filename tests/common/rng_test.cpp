@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gpusim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+class RngUniformityTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RngUniformityTest, BucketsRoughlyUniform) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.10) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
+                         ::testing::Values(1, 42, 12345, 0xDEADBEEF));
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(31);
+  for (double p : {0.1, 0.45, 0.9}) {
+    int hits = 0;
+    constexpr int kTrials = 50000;
+    for (int i = 0; i < kTrials; ++i) {
+      hits += rng.next_bool(p) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kTrials, p, 0.02);
+  }
+}
+
+TEST(RngTest, ZeroProbabilityNeverFires) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+  }
+}
+
+TEST(RngTest, NoShortCycles) {
+  Rng rng(17);
+  std::set<u64> seen;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(seen.insert(rng.next_u64()).second) << "cycle at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gpusim

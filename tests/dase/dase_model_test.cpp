@@ -1,0 +1,246 @@
+// Unit tests for the DASE equations on hand-constructed counter samples.
+//
+// The expected values below are computed by hand from the paper's
+// equations with the default Table II configuration: tRP = tRCD = 18 SM
+// cycles, TimePerReq = 6 SM cycles, 6 partitions, Requestmax factor 0.6.
+#include "dase/dase_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+class DaseModelTest : public ::testing::Test {
+ protected:
+  DaseModelTest() : gpu_(cfg_, {AppLaunch{*find_app("VA"), 1}}) {}
+
+  /// Feeds one synthetic sample through the model and returns the
+  /// estimates (warmup disabled so the first interval already counts).
+  std::vector<SlowdownEstimate> feed(DaseModel& model,
+                                     const IntervalSample& sample) {
+    model.on_interval(sample, gpu_);
+    return model.latest();
+  }
+
+  static IntervalSample base_sample() {
+    IntervalSample s;
+    s.length = 50'000;
+    s.total_sms = 16;
+    s.count_apps = 2;
+    s.apps.resize(1);
+    AppIntervalData& d = s.apps[0];
+    d.app = 0;
+    d.num_sms = 8;
+    d.sm_cycles = 8 * 50'000;
+    d.instructions = 100'000;
+    d.active_blocks = 8;
+    d.remaining_blocks = 1'000'000;
+    return s;
+  }
+
+  GpuConfig cfg_;
+  Gpu gpu_;
+};
+
+TEST_F(DaseModelTest, RequestMaxFollowsEq20) {
+  // Requestmax = T / TimePerReq * partitions * 0.6 = 50000/6*6*0.6 = 30000.
+  EXPECT_NEAR(DaseModel::request_max(cfg_, 50'000), 30'000.0, 1e-9);
+  EXPECT_NEAR(DaseModel::request_max(cfg_, 25'000), 15'000.0, 1e-9);
+}
+
+TEST_F(DaseModelTest, NmbbSlowdownMatchesHandComputation) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.5;
+  d.requests_served = 5'000;
+  d.bank_service_time = 250'000;  // T_avg = 50
+  d.erb_miss = 100;
+  d.ellc_miss_scaled = 200;
+  d.blp = 4.0;
+  d.blp_access = 3.0;
+  s.total_requests_served = 8'000;  // well below Requestmax -> NMBB
+
+  DaseModel model({}, /*warmup=*/0);
+  const auto est = feed(model, s);
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_TRUE(est[0].valid);
+  EXPECT_FALSE(est[0].mbb);
+  // T_BK = 50000*(4-3) = 50000; T_RB = 100*36 = 3600; T_LLC = 200*50 =
+  // 10000; T_interf = 63600/4 = 15900; ratio = 50000/34100;
+  // slowdown = 0.5 + 0.5*ratio = 1.23314; all-SMs: *2 = 2.46628.
+  EXPECT_NEAR(est[0].interference_cycles, 15'900.0, 1e-6);
+  EXPECT_NEAR(est[0].slowdown_assigned, 1.233137, 1e-5);
+  EXPECT_NEAR(est[0].slowdown_all, 2.466276, 1e-5);
+}
+
+TEST_F(DaseModelTest, MbbClassificationAndSlowdown) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.9;
+  d.requests_served = 20'000;
+  d.bank_service_time = 400'000;
+  d.blp = 6.0;
+  d.blp_access = 5.0;
+  s.total_requests_served = 35'000;  // Eq. 19: >= 30000
+
+  DaseModel model({}, 0);
+  const auto est = feed(model, s);
+  EXPECT_TRUE(est[0].mbb);
+  // Eq. 16/18: slowdown = total / own = 35000/20000.
+  EXPECT_NEAR(est[0].slowdown_assigned, 1.75, 1e-9);
+  EXPECT_NEAR(est[0].slowdown_all, 1.75, 1e-9)
+      << "MBB kernels do not scale with SMs (Section 4.3)";
+}
+
+TEST_F(DaseModelTest, MbbNeedsAllThreeConditions) {
+  // Eq. 21 violated: the app's own share is below 1/CountApp.
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.9;
+  d.requests_served = 10'000;  // share 1/3 < 1/2
+  d.bank_service_time = 100'000;
+  d.blp = 6.0;
+  d.blp_access = 5.5;
+  s.total_requests_served = 32'000;
+  DaseModel model({}, 0);
+  EXPECT_FALSE(feed(model, s)[0].mbb);
+
+  // Eq. 22 violated: ample TLP slack (low alpha) despite high share.
+  IntervalSample s2 = base_sample();
+  AppIntervalData& d2 = s2.apps[0];
+  d2.alpha = 0.05;
+  d2.requests_served = 16'000;
+  d2.bank_service_time = 100'000;
+  d2.blp = 6.0;
+  d2.blp_access = 5.5;
+  s2.total_requests_served = 31'000;
+  // 16000 / (1-0.05) = 16842 < 30000 -> NMBB.
+  DaseModel model2({}, 0);
+  EXPECT_FALSE(feed(model2, s2)[0].mbb);
+}
+
+TEST_F(DaseModelTest, AlphaClampAboveThreshold) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.8;  // above the 0.7 clamp threshold
+  d.requests_served = 2'000;
+  d.bank_service_time = 80'000;  // T_avg = 40
+  d.erb_miss = 0;
+  d.blp = 2.0;
+  d.blp_access = 1.5;
+  s.total_requests_served = 3'000;
+
+  DaseModel clamped({.clamp_alpha = true}, 0);
+  DaseModel unclamped({.clamp_alpha = false}, 0);
+  const double with_clamp = feed(clamped, s)[0].slowdown_assigned;
+  const double without = feed(unclamped, s)[0].slowdown_assigned;
+  // With alpha = 1 the full interference ratio applies -> larger estimate.
+  EXPECT_GT(with_clamp, without);
+  // T_interf = 50000*0.5/2 = 12500; ratio = 50000/37500 = 4/3.
+  EXPECT_NEAR(with_clamp, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(without, 1.0 - 0.8 + 0.8 * 4.0 / 3.0, 1e-9);
+}
+
+TEST_F(DaseModelTest, BandwidthCapEq25Binds) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.num_sms = 2;  // aggressive x8 SM scaling
+  d.sm_cycles = 2 * 50'000;
+  d.alpha = 1.0;
+  d.requests_served = 15'000;
+  d.bank_service_time = 300'000;
+  d.blp = 2.0;
+  d.blp_access = 1.0;  // T_BK = 50000 -> big assigned slowdown
+  s.total_requests_served = 20'000;
+
+  DaseModel model({}, 0);
+  const auto est = feed(model, s);
+  ASSERT_FALSE(est[0].mbb);
+  // bw_cap = 30000 / 15000 = 2.0 must bound the x8 extrapolation.
+  EXPECT_NEAR(est[0].slowdown_all, 2.0, 1e-9);
+
+  DaseModel uncapped({.apply_bw_cap = false}, 0);
+  EXPECT_GT(feed(uncapped, s)[0].slowdown_all, 2.0);
+}
+
+TEST_F(DaseModelTest, TlpCapEq24Binds) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.2;
+  d.requests_served = 1'000;
+  d.bank_service_time = 30'000;
+  d.blp = 1.5;
+  d.blp_access = 1.4;
+  d.active_blocks = 8;
+  d.remaining_blocks = 9;  // almost no blocks left: cannot fill 16 SMs
+  s.total_requests_served = 1'500;
+
+  DaseModel model({}, 0);
+  const auto est = feed(model, s);
+  // tlp_cap = slowdown_assigned * 9/8 < slowdown_assigned * 2.
+  EXPECT_LE(est[0].slowdown_all, est[0].slowdown_assigned * 9.0 / 8.0 + 1e-9);
+}
+
+TEST_F(DaseModelTest, InactiveAppIsInvalid) {
+  IntervalSample s = base_sample();
+  s.apps[0].num_sms = 0;
+  s.apps[0].sm_cycles = 0;
+  DaseModel model({}, 0);
+  EXPECT_FALSE(feed(model, s)[0].valid);
+}
+
+TEST_F(DaseModelTest, NoMemoryActivityMeansNoSlowdown) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.0;
+  d.requests_served = 0;
+  d.blp = 0.0;
+  d.blp_access = 0.0;
+  s.total_requests_served = 0;
+  DaseModel model({}, 0);
+  const auto est = feed(model, s);
+  EXPECT_TRUE(est[0].valid);
+  EXPECT_NEAR(est[0].slowdown_assigned, 1.0, 1e-9);
+  // A pure-compute app on half the SMs still slows by the SM ratio.
+  EXPECT_NEAR(est[0].slowdown_all, 2.0, 1e-9);
+}
+
+TEST_F(DaseModelTest, InterferenceClampPreventsDivergence) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 1.0;
+  d.requests_served = 100;
+  d.bank_service_time = 10'000'000;  // absurd T_avg
+  d.ellc_miss_scaled = 10'000;
+  d.erb_miss = 100'000;
+  d.blp = 1.0;
+  d.blp_access = 0.0;
+  s.total_requests_served = 200;
+  DaseModel model({}, 0);
+  const auto est = feed(model, s);
+  EXPECT_TRUE(std::isfinite(est[0].slowdown_assigned));
+  // ratio capped at 1/(1-0.95) = 20.
+  EXPECT_LE(est[0].slowdown_assigned, 20.0 + 1e-9);
+}
+
+TEST_F(DaseModelTest, DivideByBlpAblation) {
+  IntervalSample s = base_sample();
+  AppIntervalData& d = s.apps[0];
+  d.alpha = 0.5;
+  d.requests_served = 5'000;
+  d.bank_service_time = 250'000;
+  d.erb_miss = 100;
+  d.blp = 4.0;
+  d.blp_access = 3.0;
+  s.total_requests_served = 8'000;
+  DaseModel with({}, 0);
+  DaseModel without({.divide_by_blp = false}, 0);
+  EXPECT_LT(feed(with, s)[0].slowdown_assigned,
+            feed(without, s)[0].slowdown_assigned)
+      << "Eq. 14 divides aggregate interference across parallel banks";
+}
+
+}  // namespace
+}  // namespace gpusim

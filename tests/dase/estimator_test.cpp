@@ -1,0 +1,75 @@
+#include "dase/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+/// Estimator returning a fixed, scriptable slowdown per interval.
+class ScriptedEstimator final : public SlowdownEstimator {
+ public:
+  explicit ScriptedEstimator(int warmup) : SlowdownEstimator(warmup) {}
+  std::string name() const override { return "scripted"; }
+  std::vector<double> script;
+  bool valid = true;
+
+ protected:
+  std::vector<SlowdownEstimate> estimate(const IntervalSample&,
+                                         Gpu&) override {
+    SlowdownEstimate e;
+    e.valid = valid;
+    e.slowdown_all = script.at(index_++);
+    return {e};
+  }
+
+ private:
+  std::size_t index_ = 0;
+};
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : gpu_(cfg_, {AppLaunch{*find_app("VA"), 1}}) {}
+
+  IntervalSample sample() {
+    IntervalSample s;
+    s.length = 1000;
+    s.apps.resize(1);
+    return s;
+  }
+
+  GpuConfig cfg_;
+  Gpu gpu_;
+};
+
+TEST_F(EstimatorTest, WarmupIntervalsExcludedFromMean) {
+  ScriptedEstimator est(/*warmup=*/2);
+  est.script = {100.0, 100.0, 2.0, 4.0};
+  for (int i = 0; i < 4; ++i) est.on_interval(sample(), gpu_);
+  EXPECT_DOUBLE_EQ(est.mean_slowdown(0), 3.0);
+  EXPECT_EQ(est.intervals_seen(), 4u);
+}
+
+TEST_F(EstimatorTest, NoValidSamplesDefaultsToOne) {
+  ScriptedEstimator est(0);
+  est.valid = false;
+  est.script = {5.0, 5.0};
+  est.on_interval(sample(), gpu_);
+  est.on_interval(sample(), gpu_);
+  EXPECT_DOUBLE_EQ(est.mean_slowdown(0), 1.0);
+}
+
+TEST_F(EstimatorTest, LatestAlwaysReflectsMostRecentInterval) {
+  ScriptedEstimator est(5);  // warm-up longer than run
+  est.script = {7.0, 9.0};
+  est.on_interval(sample(), gpu_);
+  EXPECT_DOUBLE_EQ(est.latest()[0].slowdown_all, 7.0);
+  est.on_interval(sample(), gpu_);
+  EXPECT_DOUBLE_EQ(est.latest()[0].slowdown_all, 9.0)
+      << "latest() works during warm-up even though the mean excludes it";
+  EXPECT_DOUBLE_EQ(est.mean_slowdown(0), 1.0);
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,67 @@
+#include "gpu/app_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+KernelProfile small_grid() {
+  KernelProfile p = *find_app("VA");
+  p.blocks_total = 4;
+  return p;
+}
+
+TEST(AppRuntimeTest, AllocatesBlocksInOrder) {
+  AppRuntime rt(small_grid(), 0, 1, /*restart=*/false);
+  for (u64 i = 0; i < 4; ++i) {
+    const auto block = rt.try_alloc_block();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(*block, i);
+  }
+  EXPECT_FALSE(rt.try_alloc_block().has_value()) << "grid exhausted";
+  EXPECT_EQ(rt.kernel_restarts(), 0u);
+}
+
+TEST(AppRuntimeTest, RestartOnFinishWrapsTheGrid) {
+  AppRuntime rt(small_grid(), 0, 1, /*restart=*/true);
+  for (int i = 0; i < 4; ++i) rt.try_alloc_block();
+  const auto wrapped = rt.try_alloc_block();
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_EQ(*wrapped, 0u);
+  EXPECT_EQ(rt.kernel_restarts(), 1u);
+}
+
+TEST(AppRuntimeTest, RemainingBlocksWithoutRestart) {
+  AppRuntime rt(small_grid(), 0, 1, /*restart=*/false);
+  EXPECT_EQ(rt.remaining_blocks(), 4u);
+  rt.try_alloc_block();
+  rt.on_block_complete(0);
+  EXPECT_EQ(rt.remaining_blocks(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    rt.try_alloc_block();
+    rt.on_block_complete(i + 1);
+  }
+  EXPECT_EQ(rt.remaining_blocks(), 0u);
+  EXPECT_EQ(rt.blocks_completed(), 4u);
+}
+
+TEST(AppRuntimeTest, RemainingBlocksUnderRestartReportsGridSize) {
+  AppRuntime rt(small_grid(), 0, 1, /*restart=*/true);
+  for (int i = 0; i < 10; ++i) {
+    rt.try_alloc_block();
+    rt.on_block_complete(0);
+  }
+  EXPECT_EQ(rt.remaining_blocks(), 4u) << "unbounded supply -> grid size";
+}
+
+TEST(AppRuntimeTest, ExposesLaunchIdentity) {
+  AppRuntime rt(small_grid(), 3, 77);
+  EXPECT_EQ(rt.app(), 3);
+  EXPECT_EQ(rt.app_seed(), 77u);
+  EXPECT_EQ(rt.profile().abbr, "VA");
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,121 @@
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+RunConfig quick_config() {
+  RunConfig rc;
+  rc.co_run_cycles = 60'000;
+  rc.gpu.estimation_interval = 20'000;
+  return rc;
+}
+
+TEST(RunnerTest, CoRunProducesConsistentResult) {
+  ExperimentRunner runner(quick_config());
+  const Workload w{{*find_app("VA"), *find_app("SD")}};
+  const CoRunResult r = runner.run(w, ModelSet{.dase = true});
+  EXPECT_EQ(r.label, "VA+SD");
+  EXPECT_EQ(r.cycles, 60'000u);
+  ASSERT_EQ(r.apps.size(), 2u);
+  for (const AppResult& a : r.apps) {
+    EXPECT_GT(a.instructions, 0u);
+    EXPECT_GT(a.ipc_shared, 0.0);
+    EXPECT_GT(a.ipc_alone, 0.0);
+    EXPECT_GT(a.actual_slowdown, 1.0) << "sharing must cost something";
+    EXPECT_GT(a.estimates.at("DASE"), 0.9);
+  }
+  EXPECT_GE(r.unfairness, 1.0);
+  EXPECT_GT(r.harmonic_speedup, 0.0);
+  EXPECT_LE(r.harmonic_speedup, 1.0);
+  // Bandwidth decomposition is a sane partition of capacity.
+  double total = r.wasted_bw_share + r.idle_bw_share;
+  for (double share : r.app_bw_share) {
+    EXPECT_GE(share, 0.0);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(RunnerTest, CustomSmSplitApplied) {
+  ExperimentRunner runner(quick_config());
+  const Workload w{{*find_app("VA"), *find_app("SA")}};
+  const std::vector<int> split = {4, 12};
+  const CoRunResult r4 =
+      runner.run(w, ModelSet{.dase = true}, PolicyKind::kEven, &split);
+  const CoRunResult r8 = runner.run(w, ModelSet{.dase = true});
+  // With only 4 SMs, VA executes fewer instructions than with 8.
+  EXPECT_LT(r4.apps[0].instructions, r8.apps[0].instructions);
+  EXPECT_GT(r4.apps[1].instructions, r8.apps[1].instructions);
+}
+
+TEST(RunnerTest, AloneStatsAreCachedAndPlausible) {
+  ExperimentRunner runner(quick_config());
+  const KernelProfile va = *find_app("VA");
+  const AloneStats& first = runner.alone_stats(va);
+  EXPECT_GT(first.ipc, 0.0);
+  EXPECT_GT(first.bw_util, 0.0);
+  EXPECT_LT(first.bw_util, 1.0);
+  const AloneStats& second = runner.alone_stats(va);
+  EXPECT_EQ(&first, &second) << "same cached object";
+}
+
+TEST(RunnerTest, ExactReplayAndCachedIpcAgree) {
+  // Our kernels are stationary, so the cheap cached-IPC mode must land
+  // close to the exact-replay methodology (DESIGN.md Section 2).
+  RunConfig rc = quick_config();
+  rc.co_run_cycles = 100'000;
+  const Workload w{{*find_app("VA"), *find_app("SA")}};
+
+  rc.alone_mode = RunConfig::AloneMode::kExactReplay;
+  ExperimentRunner exact(rc);
+  const CoRunResult re = exact.run(w, ModelSet{});
+
+  rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+  ExperimentRunner cached(rc);
+  const CoRunResult rc2 = cached.run(w, ModelSet{});
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(re.apps[i].actual_slowdown, rc2.apps[i].actual_slowdown,
+                re.apps[i].actual_slowdown * 0.08)
+        << w.apps[i].abbr;
+  }
+}
+
+TEST(RunnerTest, EpochModelsAttachWithoutDisturbingResult) {
+  ExperimentRunner runner(quick_config());
+  const Workload w{{*find_app("VA"), *find_app("SD")}};
+  const CoRunResult r = runner.run(
+      w, ModelSet{.dase = true, .mise = true, .asm_model = true});
+  for (const AppResult& a : r.apps) {
+    EXPECT_TRUE(a.estimates.contains("DASE"));
+    EXPECT_TRUE(a.estimates.contains("MISE"));
+    EXPECT_TRUE(a.estimates.contains("ASM"));
+  }
+}
+
+TEST(RunnerTest, MeanErrorAggregatesPerApp) {
+  ExperimentRunner runner(quick_config());
+  const Workload w{{*find_app("CS"), *find_app("CT")}};
+  const CoRunResult r = runner.run(w, ModelSet{.dase = true});
+  double sum = 0.0;
+  for (const AppResult& a : r.apps) sum += a.estimation_error_of("DASE");
+  EXPECT_NEAR(r.mean_error_of("DASE"), sum / 2.0, 1e-12);
+}
+
+TEST(RunnerTest, CyclesFromEnvParsesAndFallsBack) {
+  ::setenv("GPUSIM_TEST_CYCLES", "12345", 1);
+  EXPECT_EQ(cycles_from_env("GPUSIM_TEST_CYCLES", 5), 12345u);
+  ::setenv("GPUSIM_TEST_CYCLES", "not-a-number", 1);
+  EXPECT_EQ(cycles_from_env("GPUSIM_TEST_CYCLES", 5), 5u);
+  ::unsetenv("GPUSIM_TEST_CYCLES");
+  EXPECT_EQ(cycles_from_env("GPUSIM_TEST_CYCLES", 7), 7u);
+}
+
+}  // namespace
+}  // namespace gpusim

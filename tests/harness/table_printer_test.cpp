@@ -1,0 +1,32 @@
+#include "harness/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpusim {
+namespace {
+
+TEST(TablePrinterTest, HeaderIsAlignedAndRuled) {
+  TablePrinter table({"a", "bb"}, 6);
+  std::ostringstream out;
+  table.print_header(out);
+  EXPECT_EQ(out.str(), "     a    bb\n------------\n");
+}
+
+TEST(TablePrinterTest, PercentFormatting) {
+  EXPECT_EQ(TablePrinter::pct(0.123), "12.3%");
+  EXPECT_EQ(TablePrinter::pct(0.5, 0), "50%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 1), "100.0%");
+  EXPECT_EQ(TablePrinter::pct(0.0), "0.0%");
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(2.5), "2.500");
+  EXPECT_EQ(TablePrinter::num(2.5, 1), "2.5");
+  EXPECT_EQ(TablePrinter::num(-1.25, 2), "-1.25");
+  EXPECT_EQ(TablePrinter::num(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,106 @@
+// Cross-module invariant (property) tests: for every registered
+// application, an alone run must leave the whole counter fabric in a
+// mutually consistent state.
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.hpp"
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+class AloneRunInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr Cycle kCycles = 60'000;
+};
+
+TEST_P(AloneRunInvariants, CounterFabricIsConsistent) {
+  const KernelProfile& app = app_registry()[GetParam()];
+  GpuConfig cfg;
+  Simulation sim(cfg, {AppLaunch{app, 42}});
+  Gpu& gpu = sim.gpu();
+  gpu.set_partition(even_partition(cfg.num_sms, 1));
+  sim.run(kCycles);
+
+  // --- SM side ---
+  u64 instrs = 0;
+  u64 mem_instrs = 0;
+  u64 l1_acc = 0;
+  u64 l1_hit = 0;
+  for (int s = 0; s < gpu.num_sms(); ++s) {
+    const SmCounters& c = gpu.sm(s).counters();
+    instrs += c.instructions.total();
+    mem_instrs += c.mem_instructions.total();
+    l1_acc += c.l1_accesses.total();
+    l1_hit += c.l1_hits.total();
+    EXPECT_LE(c.issue_cycles.total(), kCycles);
+    EXPECT_LE(c.mem_stall_cycles.total() + c.issue_cycles.total() +
+                  c.idle_cycles.total(),
+              kCycles);
+  }
+  EXPECT_EQ(instrs, gpu.instructions().total(0));
+  EXPECT_GE(mem_instrs, 1u);
+  EXPECT_LE(l1_hit, l1_acc);
+  // Each memory instruction generates txns_per_mem_instr transactions;
+  // dispatched transactions cannot exceed generated ones.
+  EXPECT_LE(l1_acc,
+            mem_instrs * static_cast<u64>(app.txns_per_mem_instr));
+
+  // --- memory side ---
+  u64 l2_acc = 0;
+  u64 l2_hit = 0;
+  u64 served = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;
+  u64 data_cycles = 0;
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const auto& pc = gpu.partition(p).counters();
+    const auto& mcc = gpu.partition(p).mc().counters();
+    l2_acc += pc.l2_accesses.total(0);
+    l2_hit += pc.l2_hits.total(0);
+    served += mcc.requests_served.total(0);
+    row_hits += mcc.row_hits.total(0);
+    row_misses += mcc.row_misses.total(0);
+    data_cycles += mcc.bus_data_cycles.total(0);
+    // Bandwidth decomposition covers the run (lump-accounting slack).
+    const u64 accounted = mcc.bus_data_cycles.grand_total() +
+                          mcc.wasted_cycles.total() +
+                          mcc.idle_cycles.total();
+    EXPECT_NEAR(static_cast<double>(accounted),
+                static_cast<double>(gpu.now()), gpu.now() * 0.03)
+        << "partition " << p;
+  }
+  // L1 misses flow into the L2; merging can only reduce the count.
+  EXPECT_LE(l2_acc, l1_acc - l1_hit);
+  EXPECT_LE(l2_hit, l2_acc);
+  // Served DRAM requests = L2 misses minus in-flight merges (and at most
+  // the in-flight tail is outstanding).
+  EXPECT_LE(served, l2_acc - l2_hit);
+  // Every issued DRAM request was either a row hit or a row miss, and
+  // all issued requests complete or stay bounded in flight.
+  EXPECT_LE(served, row_hits + row_misses);
+  EXPECT_LE(row_hits + row_misses - served, 200u);
+  // Data cycles = t_burst per granted request; row hit/miss counts are
+  // taken at issue, so the committed-but-not-yet-granted tail may differ.
+  EXPECT_LE(data_cycles, (row_hits + row_misses) * GpuConfig{}.t_burst());
+  EXPECT_GE(data_cycles + 100 * GpuConfig{}.t_burst(),
+            (row_hits + row_misses) * GpuConfig{}.t_burst());
+
+  // --- no leaks: after draining, the system is quiescent ---
+  gpu.set_partition(std::vector<AppId>(gpu.num_sms(), kInvalidApp));
+  Cycle waited = 0;
+  while ((gpu.migration_in_progress() || !gpu.memory_system_quiescent()) &&
+         waited < 3'000'000) {
+    gpu.run(2'000);
+    waited += 2'000;
+  }
+  EXPECT_TRUE(gpu.memory_system_quiescent()) << app.abbr;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AloneRunInvariants, ::testing::Range(0, 15),
+                         [](const auto& info) {
+                           return app_registry()[info.param].abbr;
+                         });
+
+}  // namespace
+}  // namespace gpusim

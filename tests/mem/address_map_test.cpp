@@ -1,0 +1,108 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace gpusim {
+namespace {
+
+TEST(AddressMapTest, SequentialLinesInterleavePartitions) {
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  for (u64 line = 0; line < 600; ++line) {
+    EXPECT_EQ(map.partition_of(line * 128),
+              static_cast<PartitionId>(line % 6));
+  }
+}
+
+TEST(AddressMapTest, DecodePartitionAgreesWithPartitionOf) {
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 addr = rng.next_u64() >> 8 << 7;  // line aligned
+    EXPECT_EQ(map.decode(addr).partition, map.partition_of(addr));
+  }
+}
+
+TEST(AddressMapTest, RowSpansNinetySixConsecutiveLines) {
+  // With 6 partitions, 16-line rows: one bank-row covers 96 consecutive
+  // cache lines (16 per partition), then the bank advances.
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  const DramCoordinates first = map.decode(0);
+  for (u64 line = 0; line < 96; ++line) {
+    const DramCoordinates c = map.decode(line * 128);
+    EXPECT_EQ(c.bank, first.bank) << "line " << line;
+    EXPECT_EQ(c.row, first.row) << "line " << line;
+  }
+  const DramCoordinates next = map.decode(96 * 128);
+  EXPECT_NE(next.bank, first.bank);
+}
+
+TEST(AddressMapTest, BankRotationCoversAllBanks) {
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  std::set<int> banks;
+  for (u64 line = 0; line < 96 * 16; line += 96) {
+    banks.insert(map.decode(line * 128).bank);
+  }
+  EXPECT_EQ(banks.size(), 16u);
+}
+
+TEST(AddressMapTest, RowAdvancesAfterFullBankRotation) {
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  const u64 rotation_lines = 96 * 16;
+  EXPECT_EQ(map.decode(0).row, 0u);
+  const DramCoordinates c = map.decode(rotation_lines * 128);
+  EXPECT_EQ(c.row, 1u);
+  EXPECT_EQ(c.bank, 0);
+}
+
+TEST(AddressMapTest, FieldsWithinBounds) {
+  GpuConfig cfg;
+  AddressMap map(cfg);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const u64 addr = rng.next_u64() & ((1ull << 44) - 1);
+    const DramCoordinates c = map.decode(addr);
+    ASSERT_GE(c.partition, 0);
+    ASSERT_LT(c.partition, cfg.num_partitions);
+    ASSERT_GE(c.bank, 0);
+    ASSERT_LT(c.bank, cfg.banks_per_mc);
+  }
+}
+
+class AddressMapBalanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddressMapBalanceTest, RandomTrafficBalancesPartitionsAndBanks) {
+  GpuConfig cfg;
+  cfg.num_partitions = GetParam();
+  // Keep total L2 size coherent for validate(); not needed by AddressMap.
+  AddressMap map(cfg);
+  Rng rng(77);
+  std::map<int, int> parts;
+  std::map<int, int> banks;
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const u64 addr = rng.next_below(1ull << 32) * 128;
+    const DramCoordinates c = map.decode(addr);
+    ++parts[c.partition];
+    ++banks[c.bank];
+  }
+  const double per_part = static_cast<double>(kSamples) / cfg.num_partitions;
+  for (auto [p, n] : parts) EXPECT_NEAR(n, per_part, per_part * 0.1);
+  const double per_bank = static_cast<double>(kSamples) / cfg.banks_per_mc;
+  for (auto [b, n] : banks) EXPECT_NEAR(n, per_bank, per_bank * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, AddressMapBalanceTest,
+                         ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,49 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace gpusim {
+namespace {
+
+TEST(MetricsTest, UnfairnessMaxOverMin) {
+  const std::array<double, 2> even = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(unfairness(even), 1.0);
+  const std::array<double, 2> paper = {3.44, 1.37};  // paper's SD+SA
+  EXPECT_NEAR(unfairness(paper), 2.51, 0.01);
+  const std::array<double, 4> quad = {1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(unfairness(quad), 6.0);
+}
+
+TEST(MetricsTest, HarmonicSpeedupEq27) {
+  // H.Speedup = N / sum(slowdowns).
+  const std::array<double, 2> s = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(harmonic_speedup(s), 0.5);
+  const std::array<double, 2> one = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(harmonic_speedup(one), 1.0);
+  const std::array<double, 4> quad = {4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonic_speedup(quad), 0.25);
+}
+
+TEST(MetricsTest, EstimationErrorEq26) {
+  EXPECT_DOUBLE_EQ(estimation_error(2.0, 2.0), 0.0);
+  EXPECT_NEAR(estimation_error(2.2, 2.0), 0.1, 1e-12);
+  EXPECT_NEAR(estimation_error(1.8, 2.0), 0.1, 1e-12) << "error is absolute";
+  EXPECT_DOUBLE_EQ(estimation_error(1.0, 4.0), 0.75);
+}
+
+TEST(MetricsTest, MeanHandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::array<double, 3> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(MetricsTest, UnfairnessIsScaleInvariant) {
+  const std::array<double, 3> a = {1.5, 2.0, 3.0};
+  const std::array<double, 3> b = {3.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(unfairness(a), unfairness(b));
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,218 @@
+#include "sm/sm_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "gpu/app_runtime.hpp"
+
+namespace gpusim {
+namespace {
+
+KernelProfile compute_profile() {
+  KernelProfile p;
+  p.name = "compute";
+  p.abbr = "CP";
+  p.mem_fraction = 0.0001;  // essentially pure compute
+  p.txns_per_mem_instr = 1;
+  p.seq_locality = 1.0;
+  p.working_set_bytes = 16 << 20;
+  p.warps_per_block = 4;
+  p.instrs_per_warp = 200;
+  p.blocks_total = 1000;
+  return p;
+}
+
+KernelProfile memory_profile() {
+  KernelProfile p = compute_profile();
+  p.abbr = "MM";
+  p.mem_fraction = 0.5;
+  return p;
+}
+
+class SmCoreTest : public ::testing::Test {
+ protected:
+  GpuConfig cfg_;
+  AddressMap map_{cfg_};
+};
+
+TEST_F(SmCoreTest, UnassignedSmIdles) {
+  SmCore sm(cfg_, 0, map_);
+  EXPECT_FALSE(sm.assigned());
+  for (Cycle c = 0; c < 100; ++c) sm.cycle(c);
+  EXPECT_EQ(sm.counters().instructions.total(), 0u);
+  EXPECT_EQ(sm.counters().idle_cycles.total(), 100u);
+  EXPECT_TRUE(sm.drained());
+}
+
+TEST_F(SmCoreTest, ComputeKernelIssuesEveryCycle) {
+  AppRuntime rt(compute_profile(), 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  EXPECT_EQ(sm.app(), 0);
+  for (Cycle c = 0; c < 1000; ++c) sm.cycle(c);
+  // IPC ~1 modulo rare memory instructions.
+  EXPECT_GT(sm.counters().instructions.total(), 980u);
+}
+
+TEST_F(SmCoreTest, OccupancyRespectsWarpAndBlockLimits) {
+  KernelProfile p = compute_profile();
+  p.warps_per_block = 10;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  // 48 warp contexts / 10 per block = 4 blocks (max_blocks_per_sm is 8).
+  EXPECT_EQ(sm.active_blocks(), 4);
+  EXPECT_EQ(sm.live_warps(), 40);
+}
+
+TEST_F(SmCoreTest, ProfileOccupancyCapHonoured) {
+  KernelProfile p = compute_profile();
+  p.warps_per_block = 4;
+  p.max_concurrent_blocks = 2;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  EXPECT_EQ(sm.active_blocks(), 2);
+  EXPECT_EQ(sm.live_warps(), 8);
+}
+
+TEST_F(SmCoreTest, BlocksCompleteAndRefill) {
+  KernelProfile p = compute_profile();
+  p.instrs_per_warp = 50;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  for (Cycle c = 0; c < 5000; ++c) sm.cycle(c);
+  EXPECT_GT(rt.blocks_completed(), 10u);
+  EXPECT_GT(sm.active_blocks(), 0) << "refill keeps the SM occupied";
+}
+
+TEST_F(SmCoreTest, MemoryInstructionsEmitRequests) {
+  AppRuntime rt(memory_profile(), 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  int packets = 0;
+  for (Cycle c = 0; c < 500; ++c) {
+    sm.cycle(c);
+    while (!sm.out_queue().empty()) {
+      const MemRequestPacket pkt = sm.out_queue().pop();
+      EXPECT_EQ(pkt.app, 0);
+      EXPECT_EQ(pkt.sm, 0);
+      EXPECT_GE(pkt.dest, 0);
+      EXPECT_LT(pkt.dest, cfg_.num_partitions);
+      ++packets;
+    }
+  }
+  EXPECT_GT(packets, 0);
+  EXPECT_GT(sm.counters().mem_instructions.total(), 0u);
+}
+
+TEST_F(SmCoreTest, WarpsBlockUntilResponses) {
+  KernelProfile p = memory_profile();
+  p.warps_per_block = 2;
+  p.max_concurrent_blocks = 1;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  // Run without delivering responses: all warps end up waiting on memory,
+  // and the SM records memory-stall cycles (the alpha numerator).
+  std::vector<MemRequestPacket> pending;
+  for (Cycle c = 0; c < 2000; ++c) {
+    sm.cycle(c);
+    while (!sm.out_queue().empty()) pending.push_back(sm.out_queue().pop());
+  }
+  EXPECT_GT(sm.counters().mem_stall_cycles.total(), 1500u);
+  const u64 instrs_stalled = sm.counters().instructions.total();
+
+  // Deliver everything; the warps resume.
+  Cycle now = 2000;
+  for (const auto& pkt : pending) {
+    MemResponsePacket resp;
+    resp.line_addr = pkt.line_addr;
+    resp.app = pkt.app;
+    resp.sm = pkt.sm;
+    resp.warp = pkt.warp;
+    sm.receive(resp);
+  }
+  for (; now < 2100; ++now) {
+    sm.cycle(now);
+    while (!sm.out_queue().empty()) sm.out_queue().pop();
+  }
+  EXPECT_GT(sm.counters().instructions.total(), instrs_stalled);
+}
+
+TEST_F(SmCoreTest, L1HitsResolveLocally) {
+  // Two warps touching the same hot line: the second access is an L1 hit
+  // (after the response fills the line).
+  KernelProfile p = memory_profile();
+  p.hot_fraction = 0.999;
+  p.hot_set_bytes = 128;  // a single line: everything hits after one fill
+  p.warps_per_block = 4;
+  p.max_concurrent_blocks = 1;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  Cycle now = 0;
+  for (; now < 3000; ++now) {
+    sm.cycle(now);
+    while (!sm.out_queue().empty()) {
+      const MemRequestPacket pkt = sm.out_queue().pop();
+      MemResponsePacket resp;
+      resp.line_addr = pkt.line_addr;
+      resp.app = pkt.app;
+      resp.sm = pkt.sm;
+      resp.warp = pkt.warp;
+      sm.receive(resp);
+    }
+  }
+  EXPECT_GT(sm.counters().l1_hits.total(), 100u);
+}
+
+TEST_F(SmCoreTest, DrainStopsNewBlocksAndEmpties) {
+  KernelProfile p = compute_profile();
+  p.instrs_per_warp = 100;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  sm.start_drain();
+  EXPECT_TRUE(sm.draining());
+  Cycle c = 0;
+  for (; c < 50000 && !sm.drained(); ++c) sm.cycle(c);
+  EXPECT_TRUE(sm.drained());
+  EXPECT_EQ(sm.active_blocks(), 0);
+  sm.release();
+  EXPECT_FALSE(sm.assigned());
+
+  // Reassignment to another app works after release.
+  AppRuntime rt2(memory_profile(), 1, 43);
+  sm.assign(&rt2);
+  EXPECT_EQ(sm.app(), 1);
+  EXPECT_GT(sm.live_warps(), 0);
+}
+
+TEST_F(SmCoreTest, CancelDrainResumesFetching) {
+  KernelProfile p = compute_profile();
+  p.instrs_per_warp = 30;
+  AppRuntime rt(p, 0, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.assign(&rt);
+  sm.start_drain();
+  sm.cancel_drain();
+  for (Cycle c = 0; c < 5000; ++c) sm.cycle(c);
+  EXPECT_GT(sm.active_blocks(), 0);
+  EXPECT_GT(rt.blocks_completed(), 5u);
+}
+
+TEST_F(SmCoreTest, InstructionSinkReceivesPerAppCounts) {
+  PerAppCounter sink;
+  AppRuntime rt(compute_profile(), 2, 42);
+  SmCore sm(cfg_, 0, map_);
+  sm.set_instr_sink(&sink);
+  sm.assign(&rt);
+  for (Cycle c = 0; c < 100; ++c) sm.cycle(c);
+  EXPECT_EQ(sink.total(2), sm.counters().instructions.total());
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -1,0 +1,222 @@
+// gpusim_cli — run arbitrary multiprogrammed workloads from the command
+// line: pick applications, SM policy, estimation models and run length,
+// and get the per-application slowdown report.
+//
+//   gpusim_cli --apps SD,SA
+//   gpusim_cli --apps VA,CT,SD,SN --policy dase-fair --cycles 1000000
+//   gpusim_cli --apps AA,SD --policy qos --qos-target 1.5
+//   gpusim_cli --apps SB,VA --split 4,12 --models dase,mise,asm
+//   gpusim_cli --list-apps
+//   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config_io.hpp"
+#include "harness/runner.hpp"
+#include "harness/table_printer.hpp"
+#include "kernels/app_registry.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: " << argv0 << " --apps A,B[,C,D] [options]\n"
+      << "\n"
+      << "  --apps LIST       comma-separated Table III abbreviations\n"
+      << "  --cycles N        co-run length in cycles (default 300000)\n"
+      << "  --policy P        even | dase-fair | leftover | temporal | qos\n"
+      << "  --split N1,N2,..  static SM counts per app (overrides policy "
+         "partitioning)\n"
+      << "  --models LIST     estimators to attach: dase,mise,asm "
+         "(default dase)\n"
+      << "  --qos-target X    slowdown target for --policy qos "
+         "(default 2.0)\n"
+      << "  --quantum N       temporal-multitasking quantum (default "
+         "100000)\n"
+      << "  --seed N          workload seed (default 42)\n"
+      << "  --alone MODE      replay | cached (default replay)\n"
+      << "  --config FILE     load a GpuConfig key=value file\n"
+      << "  --dump-config     print the default config file and exit\n"
+      << "  --list-apps       print the application registry and exit\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpusim;
+
+  std::vector<std::string> app_names;
+  RunConfig rc;
+  rc.co_run_cycles = 300'000;
+  PolicyKind policy = PolicyKind::kEven;
+  ModelSet models{.dase = true};
+  std::vector<int> split;
+  bool have_split = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--apps") {
+      app_names = split_csv(next());
+    } else if (arg == "--cycles") {
+      rc.co_run_cycles = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "even") {
+        policy = PolicyKind::kEven;
+      } else if (p == "dase-fair") {
+        policy = PolicyKind::kDaseFair;
+      } else if (p == "leftover") {
+        policy = PolicyKind::kLeftover;
+      } else if (p == "temporal") {
+        policy = PolicyKind::kTemporal;
+      } else if (p == "qos") {
+        policy = PolicyKind::kDaseQos;
+      } else {
+        usage(argv[0], "unknown policy: " + p);
+      }
+    } else if (arg == "--split") {
+      split.clear();
+      for (const std::string& n : split_csv(next())) {
+        split.push_back(std::atoi(n.c_str()));
+      }
+      have_split = true;
+    } else if (arg == "--models") {
+      models = ModelSet{};
+      for (const std::string& m : split_csv(next())) {
+        if (m == "dase") {
+          models.dase = true;
+        } else if (m == "mise") {
+          models.mise = true;
+        } else if (m == "asm") {
+          models.asm_model = true;
+        } else {
+          usage(argv[0], "unknown model: " + m);
+        }
+      }
+    } else if (arg == "--qos-target") {
+      rc.qos.target_slowdown = std::atof(next().c_str());
+    } else if (arg == "--quantum") {
+      rc.temporal.quantum = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      rc.base_seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--alone") {
+      const std::string m = next();
+      if (m == "replay") {
+        rc.alone_mode = RunConfig::AloneMode::kExactReplay;
+      } else if (m == "cached") {
+        rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+      } else {
+        usage(argv[0], "unknown alone mode: " + m);
+      }
+    } else if (arg == "--config") {
+      try {
+        rc.gpu = load_config(next(), rc.gpu);
+      } catch (const std::exception& e) {
+        usage(argv[0], e.what());
+      }
+    } else if (arg == "--dump-config") {
+      write_config(std::cout, GpuConfig{});
+      return 0;
+    } else if (arg == "--list-apps") {
+      TablePrinter table({"abbr", "name", "Table3 BW", "warps/blk",
+                          "mem_frac"},
+                         14);
+      table.print_header();
+      for (const KernelProfile& app : app_registry()) {
+        table.print_row(app.abbr, app.name.substr(0, 13),
+                        TablePrinter::pct(app.table3_bw_util, 0),
+                        app.warps_per_block,
+                        TablePrinter::num(app.mem_fraction, 3));
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0], "unknown flag: " + arg);
+    }
+  }
+
+  if (app_names.empty()) usage(argv[0], "--apps is required");
+  if (static_cast<int>(app_names.size()) > kMaxApps) {
+    usage(argv[0], "too many applications");
+  }
+  Workload workload;
+  for (const std::string& name : app_names) {
+    const auto app = find_app(name);
+    if (!app) usage(argv[0], "unknown application: " + name);
+    workload.apps.push_back(*app);
+  }
+  if (have_split && split.size() != workload.apps.size()) {
+    usage(argv[0], "--split must list one SM count per app");
+  }
+
+  ExperimentRunner runner(rc);
+  const CoRunResult result = runner.run(workload, models, policy,
+                                        have_split ? &split : nullptr);
+
+  std::cout << "workload " << result.label << ", " << result.cycles
+            << " cycles\n\n";
+  std::vector<std::string> headers = {"app", "IPC_shared", "IPC_alone",
+                                      "actual"};
+  if (models.dase) headers.push_back("DASE");
+  if (models.mise) headers.push_back("MISE");
+  if (models.asm_model) headers.push_back("ASM");
+  TablePrinter table(headers);
+  table.print_header();
+  for (const AppResult& app : result.apps) {
+    std::ostringstream row;
+    std::cout.width(12);
+    std::cout << app.abbr;
+    std::cout.width(12);
+    std::cout << TablePrinter::num(app.ipc_shared, 3);
+    std::cout.width(12);
+    std::cout << TablePrinter::num(app.ipc_alone, 3);
+    std::cout.width(12);
+    std::cout << (app.actual_slowdown >= 1e5
+                      ? std::string("starved")
+                      : TablePrinter::num(app.actual_slowdown, 2));
+    for (const char* model : {"DASE", "MISE", "ASM"}) {
+      if (app.estimates.contains(model)) {
+        std::cout.width(12);
+        std::cout << TablePrinter::num(app.estimates.at(model), 2);
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nunfairness "
+            << (result.unfairness >= 1e5
+                    ? std::string(">1e5")
+                    : TablePrinter::num(result.unfairness, 2))
+            << ", harmonic speedup "
+            << TablePrinter::num(result.harmonic_speedup, 3)
+            << ", policy actions " << result.repartitions << '\n';
+  std::cout << "DRAM bandwidth:";
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    std::cout << ' ' << result.apps[i].abbr << '='
+              << TablePrinter::pct(result.app_bw_share[i]);
+  }
+  std::cout << " wasted=" << TablePrinter::pct(result.wasted_bw_share)
+            << " idle=" << TablePrinter::pct(result.idle_bw_share) << '\n';
+  return 0;
+}
