@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dase.dir/ablation_dase.cpp.o"
+  "CMakeFiles/ablation_dase.dir/ablation_dase.cpp.o.d"
+  "ablation_dase"
+  "ablation_dase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

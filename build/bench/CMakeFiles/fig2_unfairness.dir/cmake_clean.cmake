@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_unfairness.dir/fig2_unfairness.cpp.o"
+  "CMakeFiles/fig2_unfairness.dir/fig2_unfairness.cpp.o.d"
+  "fig2_unfairness"
+  "fig2_unfairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

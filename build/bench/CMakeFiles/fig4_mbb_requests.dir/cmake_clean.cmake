@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mbb_requests.dir/fig4_mbb_requests.cpp.o"
+  "CMakeFiles/fig4_mbb_requests.dir/fig4_mbb_requests.cpp.o.d"
+  "fig4_mbb_requests"
+  "fig4_mbb_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mbb_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_two_app_error.dir/fig5_two_app_error.cpp.o"
+  "CMakeFiles/fig5_two_app_error.dir/fig5_two_app_error.cpp.o.d"
+  "fig5_two_app_error"
+  "fig5_two_app_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_two_app_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

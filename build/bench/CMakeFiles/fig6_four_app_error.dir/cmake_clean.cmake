@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_four_app_error.dir/fig6_four_app_error.cpp.o"
+  "CMakeFiles/fig6_four_app_error.dir/fig6_four_app_error.cpp.o.d"
+  "fig6_four_app_error"
+  "fig6_four_app_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_four_app_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_error_distribution.dir/fig7_error_distribution.cpp.o"
+  "CMakeFiles/fig7_error_distribution.dir/fig7_error_distribution.cpp.o.d"
+  "fig7_error_distribution"
+  "fig7_error_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_error_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

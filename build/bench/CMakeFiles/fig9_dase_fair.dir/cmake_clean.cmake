@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dase_fair.dir/fig9_dase_fair.cpp.o"
+  "CMakeFiles/fig9_dase_fair.dir/fig9_dase_fair.cpp.o.d"
+  "fig9_dase_fair"
+  "fig9_dase_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dase_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

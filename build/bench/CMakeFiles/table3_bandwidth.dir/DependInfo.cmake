@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_bandwidth.cpp" "bench/CMakeFiles/table3_bandwidth.dir/table3_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/table3_bandwidth.dir/table3_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpusim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpusim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gpusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dase/CMakeFiles/gpusim_dase.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpusim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/gpusim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpusim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpusim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gpusim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gpusim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bandwidth.dir/table3_bandwidth.cpp.o"
+  "CMakeFiles/table3_bandwidth.dir/table3_bandwidth.cpp.o.d"
+  "table3_bandwidth"
+  "table3_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_characterization.dir/app_characterization.cpp.o"
+  "CMakeFiles/app_characterization.dir/app_characterization.cpp.o.d"
+  "app_characterization"
+  "app_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_scheduling.dir/fairness_scheduling.cpp.o"
+  "CMakeFiles/fairness_scheduling.dir/fairness_scheduling.cpp.o.d"
+  "fairness_scheduling"
+  "fairness_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

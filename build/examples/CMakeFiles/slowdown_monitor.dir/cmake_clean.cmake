@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowdown_monitor.dir/slowdown_monitor.cpp.o"
+  "CMakeFiles/slowdown_monitor.dir/slowdown_monitor.cpp.o.d"
+  "slowdown_monitor"
+  "slowdown_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowdown_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("kernels")
+subdirs("cache")
+subdirs("mem")
+subdirs("noc")
+subdirs("sm")
+subdirs("gpu")
+subdirs("metrics")
+subdirs("dase")
+subdirs("baselines")
+subdirs("sched")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_baselines.dir/asm_model.cpp.o"
+  "CMakeFiles/gpusim_baselines.dir/asm_model.cpp.o.d"
+  "CMakeFiles/gpusim_baselines.dir/mise_model.cpp.o"
+  "CMakeFiles/gpusim_baselines.dir/mise_model.cpp.o.d"
+  "libgpusim_baselines.a"
+  "libgpusim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

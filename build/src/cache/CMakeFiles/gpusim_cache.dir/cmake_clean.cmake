@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_cache.dir/atd.cpp.o"
+  "CMakeFiles/gpusim_cache.dir/atd.cpp.o.d"
+  "CMakeFiles/gpusim_cache.dir/cache.cpp.o"
+  "CMakeFiles/gpusim_cache.dir/cache.cpp.o.d"
+  "libgpusim_cache.a"
+  "libgpusim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_common.dir/config.cpp.o"
+  "CMakeFiles/gpusim_common.dir/config.cpp.o.d"
+  "CMakeFiles/gpusim_common.dir/config_io.cpp.o"
+  "CMakeFiles/gpusim_common.dir/config_io.cpp.o.d"
+  "libgpusim_common.a"
+  "libgpusim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dase/dase_model.cpp" "src/dase/CMakeFiles/gpusim_dase.dir/dase_model.cpp.o" "gcc" "src/dase/CMakeFiles/gpusim_dase.dir/dase_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/gpusim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/gpusim_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpusim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpusim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gpusim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_dase.dir/dase_model.cpp.o"
+  "CMakeFiles/gpusim_dase.dir/dase_model.cpp.o.d"
+  "libgpusim_dase.a"
+  "libgpusim_dase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_dase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu.cpp" "src/gpu/CMakeFiles/gpusim_gpu.dir/gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/gpusim_gpu.dir/gpu.cpp.o.d"
+  "/root/repo/src/gpu/simulator.cpp" "src/gpu/CMakeFiles/gpusim_gpu.dir/simulator.cpp.o" "gcc" "src/gpu/CMakeFiles/gpusim_gpu.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpusim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gpusim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpusim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/gpusim_sm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/gpusim_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/gpusim_gpu.dir/simulator.cpp.o"
+  "CMakeFiles/gpusim_gpu.dir/simulator.cpp.o.d"
+  "libgpusim_gpu.a"
+  "libgpusim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

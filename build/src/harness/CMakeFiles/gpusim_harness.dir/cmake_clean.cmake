@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_harness.dir/runner.cpp.o"
+  "CMakeFiles/gpusim_harness.dir/runner.cpp.o.d"
+  "libgpusim_harness.a"
+  "libgpusim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/app_registry.cpp" "src/kernels/CMakeFiles/gpusim_kernels.dir/app_registry.cpp.o" "gcc" "src/kernels/CMakeFiles/gpusim_kernels.dir/app_registry.cpp.o.d"
+  "/root/repo/src/kernels/workload_sets.cpp" "src/kernels/CMakeFiles/gpusim_kernels.dir/workload_sets.cpp.o" "gcc" "src/kernels/CMakeFiles/gpusim_kernels.dir/workload_sets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_kernels.dir/app_registry.cpp.o"
+  "CMakeFiles/gpusim_kernels.dir/app_registry.cpp.o.d"
+  "CMakeFiles/gpusim_kernels.dir/workload_sets.cpp.o"
+  "CMakeFiles/gpusim_kernels.dir/workload_sets.cpp.o.d"
+  "libgpusim_kernels.a"
+  "libgpusim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

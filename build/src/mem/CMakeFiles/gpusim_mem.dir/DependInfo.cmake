@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/gpusim_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/gpusim_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/partition.cpp" "src/mem/CMakeFiles/gpusim_mem.dir/partition.cpp.o" "gcc" "src/mem/CMakeFiles/gpusim_mem.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gpusim_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_mem.dir/dram.cpp.o"
+  "CMakeFiles/gpusim_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/gpusim_mem.dir/partition.cpp.o"
+  "CMakeFiles/gpusim_mem.dir/partition.cpp.o.d"
+  "libgpusim_mem.a"
+  "libgpusim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/gpusim_metrics.dir/metrics.cpp.o.d"
+  "libgpusim_metrics.a"
+  "libgpusim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_sched.dir/dase_fair.cpp.o"
+  "CMakeFiles/gpusim_sched.dir/dase_fair.cpp.o.d"
+  "CMakeFiles/gpusim_sched.dir/policies.cpp.o"
+  "CMakeFiles/gpusim_sched.dir/policies.cpp.o.d"
+  "libgpusim_sched.a"
+  "libgpusim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

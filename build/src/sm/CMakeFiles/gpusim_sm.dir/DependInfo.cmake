@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sm/sm_core.cpp" "src/sm/CMakeFiles/gpusim_sm.dir/sm_core.cpp.o" "gcc" "src/sm/CMakeFiles/gpusim_sm.dir/sm_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpusim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gpusim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpusim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gpusim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_sm.dir/sm_core.cpp.o"
+  "CMakeFiles/gpusim_sm.dir/sm_core.cpp.o.d"
+  "libgpusim_sm.a"
+  "libgpusim_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_map_test.dir/mem/address_map_test.cpp.o"
+  "CMakeFiles/address_map_test.dir/mem/address_map_test.cpp.o.d"
+  "address_map_test"
+  "address_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

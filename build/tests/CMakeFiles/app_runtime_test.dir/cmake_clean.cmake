@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_runtime_test.dir/gpu/app_runtime_test.cpp.o"
+  "CMakeFiles/app_runtime_test.dir/gpu/app_runtime_test.cpp.o.d"
+  "app_runtime_test"
+  "app_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atd_test.dir/cache/atd_test.cpp.o"
+  "CMakeFiles/atd_test.dir/cache/atd_test.cpp.o.d"
+  "atd_test"
+  "atd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_queue_test.dir/common/bounded_queue_test.cpp.o"
+  "CMakeFiles/bounded_queue_test.dir/common/bounded_queue_test.cpp.o.d"
+  "bounded_queue_test"
+  "bounded_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

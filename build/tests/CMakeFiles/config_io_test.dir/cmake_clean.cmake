@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_io_test.dir/common/config_io_test.cpp.o"
+  "CMakeFiles/config_io_test.dir/common/config_io_test.cpp.o.d"
+  "config_io_test"
+  "config_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dase_fair_test.dir/sched/dase_fair_test.cpp.o"
+  "CMakeFiles/dase_fair_test.dir/sched/dase_fair_test.cpp.o.d"
+  "dase_fair_test"
+  "dase_fair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dase_fair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

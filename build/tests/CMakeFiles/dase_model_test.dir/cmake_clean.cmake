@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dase_model_test.dir/dase/dase_model_test.cpp.o"
+  "CMakeFiles/dase_model_test.dir/dase/dase_model_test.cpp.o.d"
+  "dase_model_test"
+  "dase_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dase_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

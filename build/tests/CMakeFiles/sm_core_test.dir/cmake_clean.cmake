@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_core_test.dir/sm/sm_core_test.cpp.o"
+  "CMakeFiles/sm_core_test.dir/sm/sm_core_test.cpp.o.d"
+  "sm_core_test"
+  "sm_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sets_test.dir/kernels/workload_sets_test.cpp.o"
+  "CMakeFiles/workload_sets_test.dir/kernels/workload_sets_test.cpp.o.d"
+  "workload_sets_test"
+  "workload_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

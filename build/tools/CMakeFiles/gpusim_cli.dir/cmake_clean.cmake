@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_cli.dir/gpusim_cli.cpp.o"
+  "CMakeFiles/gpusim_cli.dir/gpusim_cli.cpp.o.d"
+  "gpusim_cli"
+  "gpusim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
