@@ -5,6 +5,7 @@
 // environment variables:
 //   REPRO_CORUN_CYCLES   co-run length (default 150000; paper used 5M)
 //   REPRO_PAIR_LIMIT     cap on two-app workloads where applicable
+//   REPRO_WATCHDOG       deadlock-watchdog threshold in cycles
 #pragma once
 
 #include <cstdio>
@@ -21,6 +22,7 @@ inline RunConfig default_run_config() {
   // The big sweeps use the cached steady-state alone IPC; equivalence with
   // exact replay is asserted by tests/harness/runner_test.
   rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+  rc.watchdog_cycles = cycles_from_env("REPRO_WATCHDOG", rc.watchdog_cycles);
   return rc;
 }
 

@@ -1,18 +1,26 @@
 #include "cache/atd.hpp"
 
-#include <cassert>
+#include "common/sim_error.hpp"
 
 namespace gpusim {
 
 SampledAtd::SampledAtd(int shadow_sets, int assoc, int line_bytes,
                        int sampled_sets)
     : shadow_sets_(shadow_sets),
-      sample_stride_(shadow_sets / sampled_sets),
+      sample_stride_(1),
       line_bytes_(line_bytes),
       tags_(sampled_sets, assoc, line_bytes) {
-  assert(sampled_sets > 0 && sampled_sets <= shadow_sets);
-  assert(shadow_sets % sampled_sets == 0 &&
-         "sampled sets must evenly divide the shadow cache");
+  SIM_CHECK(sampled_sets > 0 && sampled_sets <= shadow_sets,
+            SimError(SimErrorKind::kConfig, "cache.atd",
+                     "sampled set count out of range")
+                .detail("sampled_sets", sampled_sets)
+                .detail("shadow_sets", shadow_sets));
+  SIM_CHECK(shadow_sets % sampled_sets == 0,
+            SimError(SimErrorKind::kConfig, "cache.atd",
+                     "sampled sets must evenly divide the shadow cache")
+                .detail("sampled_sets", sampled_sets)
+                .detail("shadow_sets", shadow_sets));
+  sample_stride_ = shadow_sets / sampled_sets;
 }
 
 bool SampledAtd::is_sampled(u64 addr) const {
@@ -20,7 +28,8 @@ bool SampledAtd::is_sampled(u64 addr) const {
 }
 
 bool SampledAtd::access(u64 addr) {
-  assert(is_sampled(addr));
+  SIM_INVARIANT(is_sampled(addr), "cache.atd",
+                "access to a set the ATD does not sample");
   // Re-map the line so the internal directory's set index equals the
   // sampled-set ordinal while the tag still uniquely identifies the line:
   // line_id = row * shadow_sets + shadow_set, and shadow_set is a multiple

@@ -1,11 +1,20 @@
 #include "cache/cache.hpp"
 
+#include "common/sim_error.hpp"
+
 namespace gpusim {
 
 SetAssocCache::SetAssocCache(int num_sets, int assoc, int line_bytes)
     : num_sets_(num_sets), assoc_(assoc), line_bytes_(line_bytes) {
-  assert(num_sets_ > 0 && assoc_ > 0);
-  assert(line_bytes_ > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0);
+  SIM_CHECK(num_sets_ > 0 && assoc_ > 0,
+            SimError(SimErrorKind::kConfig, "cache.set_assoc",
+                     "cache geometry must be positive")
+                .detail("num_sets", num_sets_)
+                .detail("assoc", assoc_));
+  SIM_CHECK(line_bytes_ > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0,
+            SimError(SimErrorKind::kConfig, "cache.set_assoc",
+                     "line size must be a power of two")
+                .detail("line_bytes", line_bytes_));
   lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
 }
 

@@ -6,10 +6,11 @@
 // MSHR tracks waiting (SM, warp) pairs across SMs.
 #pragma once
 
-#include <cassert>
+#include <array>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sim_error.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -23,7 +24,9 @@ struct MshrWaiter {
 class Mshr {
  public:
   explicit Mshr(int max_entries) : max_entries_(max_entries) {
-    assert(max_entries_ > 0);
+    SIM_CHECK(max_entries_ > 0,
+              SimError(SimErrorKind::kConfig, "cache.mshr",
+                       "MSHR entry count must be positive"));
   }
 
   enum class AllocResult {
@@ -49,7 +52,12 @@ class Mshr {
   /// The entry must exist.
   std::vector<MshrWaiter> release(u64 line_addr) {
     auto it = entries_.find(line_addr);
-    assert(it != entries_.end() && "response for line with no MSHR entry");
+    SIM_CHECK(it != entries_.end(),
+              SimError(SimErrorKind::kInvariant, "cache.mshr",
+                       "response for a line with no MSHR entry "
+                       "(double completion?)")
+                  .detail("line_addr", line_addr)
+                  .detail("entries_in_flight", entries_.size()));
     std::vector<MshrWaiter> waiters = std::move(it->second);
     entries_.erase(it);
     return waiters;
@@ -59,6 +67,16 @@ class Mshr {
   int in_flight() const { return static_cast<int>(entries_.size()); }
   bool full() const { return in_flight() >= max_entries_; }
   void clear() { entries_.clear(); }
+
+  /// Adds the number of recorded waiters of each application to `out`
+  /// (conservation audit: each waiter owes exactly one response packet).
+  void count_waiters_by_app(std::array<u64, kMaxApps>& out) const {
+    for (const auto& [line, waiters] : entries_) {
+      for (const MshrWaiter& w : waiters) {
+        if (w.app >= 0 && w.app < kMaxApps) ++out[w.app];
+      }
+    }
+  }
 
  private:
   int max_entries_;

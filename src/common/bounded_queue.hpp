@@ -5,10 +5,11 @@
 // explicit, checkable condition rather than silent growth.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <deque>
 #include <utility>
+
+#include "common/sim_error.hpp"
 
 namespace gpusim {
 
@@ -16,7 +17,9 @@ template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
-    assert(capacity_ > 0);
+    SIM_CHECK(capacity_ > 0,
+              SimError(SimErrorKind::kConfig, "common.bounded_queue",
+                       "queue capacity must be positive"));
   }
 
   bool full() const { return items_.size() >= capacity_; }
@@ -33,16 +36,16 @@ class BoundedQueue {
   }
 
   T& front() {
-    assert(!empty());
+    SIM_INVARIANT(!empty(), "common.bounded_queue", "front() on empty queue");
     return items_.front();
   }
   const T& front() const {
-    assert(!empty());
+    SIM_INVARIANT(!empty(), "common.bounded_queue", "front() on empty queue");
     return items_.front();
   }
 
   T pop() {
-    assert(!empty());
+    SIM_INVARIANT(!empty(), "common.bounded_queue", "pop() on empty queue");
     T item = std::move(items_.front());
     items_.pop_front();
     return item;

@@ -14,6 +14,8 @@ void GpuConfig::validate() const {
   if (max_warps_per_sm <= 0) fail("max_warps_per_sm must be positive");
   if (num_partitions <= 0) fail("num_partitions must be positive");
   if (banks_per_mc <= 0) fail("banks_per_mc must be positive");
+  if (banks_per_mc > 32)
+    fail("banks_per_mc must be <= 32 (bank bitmasks are 32 bits wide)");
   if (!is_pow2(static_cast<u64>(line_bytes))) fail("line_bytes must be pow2");
   if (l1_size_bytes % (line_bytes * l1_assoc) != 0)
     fail("L1 size not divisible into sets");
@@ -29,6 +31,8 @@ void GpuConfig::validate() const {
   if (dram_clock_ratio <= 0.0) fail("dram_clock_ratio must be positive");
   if (dram_queue_capacity <= 0) fail("dram_queue_capacity must be positive");
   if (noc_queue_depth <= 0) fail("noc_queue_depth must be positive");
+  if (partition_resp_queue_depth <= 0)
+    fail("partition_resp_queue_depth must be positive");
 }
 
 }  // namespace gpusim

@@ -55,6 +55,10 @@ struct GpuConfig {
   int t_miss_bubble_dram = 5;
   int dram_queue_capacity = 64;  // shared FR-FCFS queue entries per MC
   u64 row_bytes = 2048;  // DRAM row (page) size per bank
+  /// Partition response-queue depth (drained 1/cycle by the response
+  /// crossbar).  A full queue back-pressures the L2 hit path and defers
+  /// DRAM-fill fan-out instead of overflowing.
+  int partition_resp_queue_depth = 1024;
   /// Fill-path latency added to a DRAM completion before its response
   /// leaves the partition (L2 fill + return pipeline).  Together with the
   /// NoC and DRAM timings this puts the unloaded global-memory latency

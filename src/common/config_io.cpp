@@ -1,5 +1,6 @@
 #include "common/config_io.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -91,6 +92,7 @@ const std::map<std::string, Field>& field_table() {
       {"t_bus_gap_dram", number_field(&GpuConfig::t_bus_gap_dram, "bus turnaround gap")},
       {"t_miss_bubble_dram", number_field(&GpuConfig::t_miss_bubble_dram, "bus bubble on fresh-row transfers")},
       {"dram_queue_capacity", number_field(&GpuConfig::dram_queue_capacity, "shared FR-FCFS queue entries")},
+      {"partition_resp_queue_depth", number_field(&GpuConfig::partition_resp_queue_depth, "partition response FIFO depth")},
       {"row_bytes", number_field(&GpuConfig::row_bytes, "DRAM row (page) size")},
       {"estimation_interval", number_field(&GpuConfig::estimation_interval, "DASE interval (paper: 50000)")},
       {"requestmax_factor", number_field(&GpuConfig::requestmax_factor, "Eq. 20 empirical factor")},
@@ -119,6 +121,9 @@ void write_config(std::ostream& os, const GpuConfig& cfg) {
 GpuConfig read_config(std::istream& is, GpuConfig cfg) {
   std::string line;
   int line_no = 0;
+  // Line each key was last set on, so a validate() reject can point at the
+  // offending config line rather than just the field.
+  std::map<std::string, int> set_lines;
   while (std::getline(is, line)) {
     ++line_no;
     const auto hash = line.find('#');
@@ -137,13 +142,39 @@ GpuConfig read_config(std::istream& is, GpuConfig cfg) {
       throw std::invalid_argument("config line " + std::to_string(line_no) +
                                   ": unknown key '" + key + "'");
     }
-    it->second.set(cfg, value);
+    try {
+      it->second.set(cfg, value);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("config line " + std::to_string(line_no) +
+                                  ": key '" + key + "': " + e.what());
+    }
+    set_lines[key] = line_no;
   }
-  cfg.validate();
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    // Attribute the rejection to the config line that set the offending
+    // field, when the validation message names a known key.
+    const std::string msg = e.what();
+    for (const auto& [key, at_line] : set_lines) {
+      if (msg.find(key) != std::string::npos) {
+        throw std::invalid_argument("config line " + std::to_string(at_line) +
+                                    ": " + msg);
+      }
+    }
+    throw;
+  }
   return cfg;
 }
 
 GpuConfig load_config(const std::string& path, GpuConfig base) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    // Opening a directory "succeeds" on POSIX but every read fails, which
+    // would silently parse as an empty config; reject it explicitly.
+    throw std::runtime_error("cannot open config file: " + path +
+                             " (not a regular file)");
+  }
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open config file: " + path);
   return read_config(file, std::move(base));

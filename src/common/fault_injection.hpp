@@ -1,0 +1,115 @@
+// SimGuard fault injection.
+//
+// The watchdog and the request-conservation auditor only earn their keep if
+// we can prove they fire.  A FaultPlan describes a deterministic fault —
+// drop the Nth memory response, stall a memory partition from a given
+// cycle, drop the Nth request at a partition's input port, or corrupt a
+// configuration field — and a FaultInjector evaluates it at the hook points
+// the Gpu and MemoryPartition expose.  Probabilistic variants draw from the
+// simulator's own seeded Rng (rng.hpp) so every injected failure is
+// bit-reproducible.
+//
+// Injection simulates a *bug*, so the conservation taps are deliberately
+// not told about dropped packets: the auditor must discover the imbalance
+// on its own, exactly as it would for a real leak.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+struct FaultPlan {
+  /// Drop the Nth (1-based) response packet at final delivery to an SM.
+  /// 0 disables.  The waiting warp hangs forever — a response leak.
+  u64 drop_response_nth = 0;
+  /// Additionally drop each response with this probability (deterministic
+  /// via `seed`).  Used for stress runs; 0 disables.
+  double drop_response_prob = 0.0;
+
+  /// Drop the Nth (1-based) request packet as a partition consumes its
+  /// crossbar input queue.  0 disables.  A request leak.
+  u64 drop_request_nth = 0;
+
+  /// Freeze this memory partition (no L2, no DRAM progress) from
+  /// `stall_from_cycle` onwards.  kInvalidPartition (-1) disables.  Models a
+  /// hung port; the progress watchdog must catch the resulting deadlock.
+  PartitionId stall_partition = -1;
+  Cycle stall_from_cycle = 0;
+
+  u64 seed = 1;
+
+  bool any() const {
+    return drop_response_nth != 0 || drop_response_prob > 0.0 ||
+           drop_request_nth != 0 || stall_partition >= 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  /// Hook: Gpu is about to deliver a matured response to an SM.
+  /// Returns true when the packet must be silently discarded.
+  bool should_drop_response() {
+    ++responses_seen_;
+    if (plan_.drop_response_nth != 0 &&
+        responses_seen_ == plan_.drop_response_nth) {
+      ++responses_dropped_;
+      return true;
+    }
+    if (plan_.drop_response_prob > 0.0 &&
+        rng_.next_bool(plan_.drop_response_prob)) {
+      ++responses_dropped_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Hook: a partition is about to consume a request from its input queue.
+  bool should_drop_request() {
+    ++requests_seen_;
+    if (plan_.drop_request_nth != 0 &&
+        requests_seen_ == plan_.drop_request_nth) {
+      ++requests_dropped_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Hook: Gpu asks whether partition `p` is frozen this cycle.
+  bool partition_stalled(PartitionId p, Cycle now) const {
+    return plan_.stall_partition == p && now >= plan_.stall_from_cycle;
+  }
+
+  u64 responses_dropped() const { return responses_dropped_; }
+  u64 requests_dropped() const { return requests_dropped_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  u64 responses_seen_ = 0;
+  u64 responses_dropped_ = 0;
+  u64 requests_seen_ = 0;
+  u64 requests_dropped_ = 0;
+};
+
+/// Deterministically corrupts one configuration field (seed selects which).
+/// Every corruption must be caught by GpuConfig::validate(); the SimGuard
+/// tests use this to prove the config layer rejects garbage before a
+/// simulation can silently run with it.
+inline void corrupt_config(GpuConfig& cfg, u64 seed) {
+  Rng rng(seed);
+  switch (rng.next_below(6)) {
+    case 0: cfg.num_sms = 0; break;
+    case 1: cfg.banks_per_mc = 64; break;        // bank bitmasks are 32-wide
+    case 2: cfg.requestmax_factor = -0.5; break;
+    case 3: cfg.line_bytes = 100; break;         // not a power of two
+    case 4: cfg.partition_resp_queue_depth = -1; break;
+    case 5: cfg.atd_sampled_sets = 1 << 20; break;  // > l2_num_sets()
+  }
+}
+
+}  // namespace gpusim

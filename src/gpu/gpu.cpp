@@ -1,11 +1,15 @@
 #include "gpu/gpu.hpp"
 
-#include <cassert>
+#include <sstream>
 
 namespace gpusim {
 
 std::vector<AppId> even_partition(int num_sms, int num_apps) {
-  assert(num_apps > 0 && num_sms >= num_apps);
+  SIM_CHECK(num_apps > 0 && num_sms >= num_apps,
+            SimError(SimErrorKind::kConfig, "gpu",
+                     "even_partition needs at least one SM per application")
+                .detail("num_sms", num_sms)
+                .detail("num_apps", num_apps));
   std::vector<AppId> out(num_sms, kInvalidApp);
   const int base = num_sms / num_apps;
   const int extra = num_sms % num_apps;
@@ -30,8 +34,11 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
           [](const MemResponsePacket& p) { return static_cast<int>(p.sm); }),
       desired_partition_(cfg_.num_sms, kInvalidApp) {
   cfg_.validate();
-  assert(!launches.empty() &&
-         static_cast<int>(launches.size()) <= kMaxApps);
+  SIM_CHECK(!launches.empty() && static_cast<int>(launches.size()) <= kMaxApps,
+            SimError(SimErrorKind::kConfig, "gpu",
+                     "application count out of range")
+                .detail("launches", launches.size())
+                .detail("kMaxApps", kMaxApps));
 
   runtimes_.reserve(launches.size());
   for (std::size_t a = 0; a < launches.size(); ++a) {
@@ -44,20 +51,37 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
   for (SmId s = 0; s < cfg_.num_sms; ++s) {
     sms_.push_back(std::make_unique<SmCore>(cfg_, s, address_map_));
     sms_.back()->set_instr_sink(&instructions_);
+    sms_.back()->set_taps(&taps_);
     sm_out_ptrs_.push_back(&sms_.back()->out_queue());
   }
   partitions_.reserve(cfg_.num_partitions);
   for (PartitionId p = 0; p < cfg_.num_partitions; ++p) {
     partitions_.push_back(
         std::make_unique<MemoryPartition>(cfg_, num_apps(), p));
+    partitions_.back()->set_taps(&taps_);
     part_resp_ptrs_.push_back(&partitions_.back()->resp_queue());
   }
 }
 
+void Gpu::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& p : partitions_) p->set_fault_injector(injector);
+}
+
 void Gpu::set_partition(const std::vector<AppId>& desired) {
-  assert(static_cast<int>(desired.size()) == cfg_.num_sms);
+  SIM_CHECK(static_cast<int>(desired.size()) == cfg_.num_sms,
+            SimError(SimErrorKind::kHarness, "gpu",
+                     "partition request must name one owner per SM")
+                .cycle(now_)
+                .detail("requested", desired.size())
+                .detail("num_sms", cfg_.num_sms));
   for (AppId a : desired) {
-    assert(a == kInvalidApp || (a >= 0 && a < num_apps()));
+    SIM_CHECK(a == kInvalidApp || (a >= 0 && a < num_apps()),
+              SimError(SimErrorKind::kHarness, "gpu",
+                       "partition request names an unknown application")
+                  .cycle(now_)
+                  .app(a)
+                  .detail("num_apps", num_apps()));
   }
   desired_partition_ = desired;
   migration_pending_ = true;
@@ -116,7 +140,14 @@ void Gpu::cycle() {
   for (int s = 0; s < cfg_.num_sms; ++s) {
     auto& rq = resp_net_.dest_queue(s);
     while (!rq.empty() && rq.front().ready <= now_) {
-      sms_[s]->receive(rq.pop());
+      MemResponsePacket resp = rq.pop();
+      if (injector_ != nullptr && injector_->should_drop_response()) {
+        // Injected fault: the response vanishes at delivery, stranding its
+        // warp.  Taps stay silent so the auditor must detect the leak.
+        continue;
+      }
+      taps_.responses_delivered.add(resp.app);
+      sms_[s]->receive(resp);
     }
     sms_[s]->cycle(now_);
     const AppId app = sms_[s]->app();
@@ -128,6 +159,9 @@ void Gpu::cycle() {
 
   // 3. Memory partitions (L2 + DRAM).
   for (int p = 0; p < cfg_.num_partitions; ++p) {
+    if (injector_ != nullptr && injector_->partition_stalled(p, now_)) {
+      continue;  // injected fault: the whole partition is frozen
+    }
     partitions_[p]->cycle(now_, req_net_.dest_queue(p));
   }
 
@@ -220,6 +254,90 @@ bool Gpu::memory_system_quiescent() const {
     if (!sm->out_queue().empty()) return false;
   }
   return true;
+}
+
+AuditReport Gpu::audit_conservation() const {
+  AuditReport report;
+  report.cycle = now_;
+  for (int a = 0; a < kMaxApps; ++a) {
+    report.sent[a] = taps_.requests_sent.total(a);
+    report.consumed[a] = taps_.requests_consumed.total(a);
+    report.enqueued[a] = taps_.responses_enqueued.total(a);
+    report.delivered[a] = taps_.responses_delivered.total(a);
+  }
+
+  // Walk everything currently in flight, stage by stage.
+  auto tally = [&report](AppId app) {
+    if (app >= 0 && app < kMaxApps) ++report.in_flight[app];
+  };
+  for (const auto& sm : sms_) {
+    for (const MemRequestPacket& pkt : sm->out_queue()) tally(pkt.app);
+  }
+  for (int d = 0; d < req_net_.num_dests(); ++d) {
+    for (const MemRequestPacket& pkt : req_net_.dest_queue(d)) tally(pkt.app);
+  }
+  std::array<u64, kMaxApps> partition_flight{};
+  for (const auto& p : partitions_) p->count_in_flight(partition_flight);
+  for (int a = 0; a < kMaxApps; ++a) report.in_flight[a] += partition_flight[a];
+  for (int d = 0; d < resp_net_.num_dests(); ++d) {
+    for (const MemResponsePacket& pkt : resp_net_.dest_queue(d)) {
+      tally(pkt.app);
+    }
+  }
+
+  for (int a = 0; a < kMaxApps; ++a) {
+    report.leaked[a] = static_cast<i64>(report.sent[a]) -
+                       static_cast<i64>(report.delivered[a]) -
+                       static_cast<i64>(report.in_flight[a]);
+  }
+  return report;
+}
+
+void Gpu::verify_conservation() const {
+  const AuditReport report = audit_conservation();
+  if (report.ok()) return;
+  SIM_FAIL(SimError(SimErrorKind::kConservation, "gpu",
+                    report.total_leaked() >= 0
+                        ? "memory request(s) leaked"
+                        : "memory request(s) completed more than once")
+               .cycle(now_)
+               .detail("total_leaked", report.total_leaked())
+               .detail("report", report.to_string())
+               .detail("pipeline_state", dump_state()));
+}
+
+std::string Gpu::dump_state() const {
+  std::ostringstream ss;
+  ss << "=== GPU pipeline state @ cycle " << now_ << " ===";
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    const SmCore& sm = *sms_[s];
+    ss << "\n    SM " << s << ": app=" << sm.app()
+       << (sm.draining() ? " (draining)" : "")
+       << " blocks=" << sm.active_blocks() << " live_warps=" << sm.live_warps()
+       << " waiting_warps=" << sm.waiting_warps()
+       << " out_queue=" << sm.out_queue().size() << '/'
+       << sm.out_queue().capacity();
+  }
+  for (int p = 0; p < num_partitions(); ++p) {
+    const MemoryPartition& part = *partitions_[p];
+    ss << "\n    partition " << p
+       << ": req_net_in=" << req_net_.dest_queue(p).size()
+       << " mc_queue=" << part.mc().queue_size()
+       << " mc_inflight=" << part.mc().inflight_size()
+       << " mc_bus_ready=" << part.mc().bus_ready_size()
+       << " mc_outstanding=" << part.mc().total_outstanding()
+       << " l2_mshr=" << part.mshr_in_flight()
+       << " resp_queue=" << part.resp_queue().size()
+       << " deferred=" << part.deferred_responses();
+  }
+  u64 resp_net_backlog = 0;
+  for (int d = 0; d < resp_net_.num_dests(); ++d) {
+    resp_net_backlog += resp_net_.dest_queue(d).size();
+  }
+  ss << "\n    resp_net backlog=" << resp_net_backlog
+     << " instructions=" << instructions_.grand_total()
+     << " quiescent=" << (memory_system_quiescent() ? "yes" : "no");
+  return ss.str();
 }
 
 }  // namespace gpusim

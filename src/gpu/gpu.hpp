@@ -4,9 +4,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/config.hpp"
+#include "common/fault_injection.hpp"
+#include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "gpu/app_runtime.hpp"
@@ -77,6 +81,29 @@ class Gpu {
   /// True when no packet is in flight anywhere (tests, drain checks).
   bool memory_system_quiescent() const;
 
+  // --- SimGuard ---
+
+  /// Attaches a fault injector (nullptr detaches).  Hooks: response drops
+  /// at SM delivery, request drops at partition intake, whole-partition
+  /// stalls.  The injector must outlive the Gpu or be detached first.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Request-conservation audit: combines the always-on taps with a walk of
+  /// every queue and MSHR to determine whether any packet leaked or
+  /// completed twice.  Valid at any cycle, quiescent or not.
+  AuditReport audit_conservation() const;
+
+  /// Throws SimError(kConservation) carrying the full report when the audit
+  /// finds an imbalance.
+  void verify_conservation() const;
+
+  /// Human-readable pipeline-state snapshot: per-SM occupancy and warp
+  /// states, per-partition queue/MSHR/DRAM occupancies, crossbar backlogs.
+  /// Attached to watchdog and conservation errors.
+  std::string dump_state() const;
+
+  const ConservationTaps& conservation_taps() const { return taps_; }
+
  private:
   void progress_migration();
 
@@ -97,6 +124,8 @@ class Gpu {
   Cycle last_interval_end_ = 0;
   PerAppCounter instructions_;
   PerAppCounter sm_cycles_;
+  ConservationTaps taps_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -1,6 +1,17 @@
 #include "gpu/simulator.hpp"
 
+#include <algorithm>
+
+#include "common/sim_error.hpp"
+
 namespace gpusim {
+
+namespace {
+/// How often the watchdog samples the progress counters.  Sampling is a
+/// handful of counter reads, so a fine period keeps detection latency low
+/// without measurable overhead.
+constexpr Cycle kWatchdogCheckPeriod = 1024;
+}  // namespace
 
 void Simulation::run(Cycle cycles) {
   if (next_interval_end_ == 0) {
@@ -11,6 +22,9 @@ void Simulation::run(Cycle cycles) {
     for (CycleHook* hook : cycle_hooks_) hook->on_cycle(gpu_.now(), gpu_);
     gpu_.cycle();
     maybe_fire_interval();
+    if (watchdog_cycles_ != 0 && gpu_.now() % kWatchdogCheckPeriod == 0) {
+      check_watchdog();
+    }
   }
 }
 
@@ -31,6 +45,42 @@ void Simulation::maybe_fire_interval() {
   ++intervals_completed_;
   for (IntervalObserver* obs : observers_) obs->on_interval(sample, gpu_);
   next_interval_end_ = gpu_.now() + interval_length_;
+}
+
+u64 Simulation::progress_signature() const {
+  // Any retired instruction or served DRAM request counts as progress; a
+  // co-run mid-drain retires nothing for a while but its DRAM still moves.
+  u64 sig = gpu_.instructions().grand_total();
+  for (int p = 0; p < gpu_.num_partitions(); ++p) {
+    sig += gpu_.partition(p).mc().counters().requests_served.grand_total();
+  }
+  return sig;
+}
+
+void Simulation::check_watchdog() {
+  const u64 sig = progress_signature();
+  if (sig != last_progress_sig_) {
+    last_progress_sig_ = sig;
+    last_progress_cycle_ = gpu_.now();
+    return;
+  }
+  if (gpu_.now() - last_progress_cycle_ < watchdog_cycles_) return;
+  // Zero progress for the full threshold.  An intentionally idle GPU
+  // (every SM released, nothing in flight) is not a deadlock.
+  if (gpu_.memory_system_quiescent()) {
+    bool any_live = false;
+    for (int s = 0; s < gpu_.num_sms() && !any_live; ++s) {
+      any_live = gpu_.sm(s).live_warps() > 0;
+    }
+    if (!any_live) return;
+  }
+  SIM_FAIL(SimError(SimErrorKind::kWatchdogStall, "gpu.simulation",
+                    "no instruction retired and no DRAM request served — "
+                    "deadlock or livelock")
+               .cycle(gpu_.now())
+               .detail("stalled_for_cycles", gpu_.now() - last_progress_cycle_)
+               .detail("watchdog_threshold", watchdog_cycles_)
+               .detail("pipeline_state", gpu_.dump_state()));
 }
 
 }  // namespace gpusim

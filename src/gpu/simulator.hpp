@@ -29,6 +29,12 @@ class CycleHook {
 
 class Simulation {
  public:
+  /// Progress-watchdog default: if no instruction retires and no DRAM
+  /// request is served for this many cycles while work is outstanding, the
+  /// run is declared dead(locked).  Generous enough that no legitimate
+  /// workload trips it; tighten per run via set_watchdog().
+  static constexpr Cycle kDefaultWatchdogCycles = 1'000'000;
+
   Simulation(const GpuConfig& cfg, std::vector<AppLaunch> launches)
       : gpu_(cfg, std::move(launches)),
         interval_length_(cfg.estimation_interval) {}
@@ -39,7 +45,13 @@ class Simulation {
   void add_observer(IntervalObserver* obs) { observers_.push_back(obs); }
   void add_cycle_hook(CycleHook* hook) { cycle_hooks_.push_back(hook); }
 
-  /// Runs for `cycles`, firing interval boundaries as they pass.
+  /// Sets the watchdog stall threshold in cycles; 0 disables the watchdog.
+  void set_watchdog(Cycle stall_cycles) { watchdog_cycles_ = stall_cycles; }
+  Cycle watchdog_cycles() const { return watchdog_cycles_; }
+
+  /// Runs for `cycles`, firing interval boundaries as they pass.  Throws
+  /// SimError(kWatchdogStall) with a full pipeline-state dump when the
+  /// watchdog detects a deadlock/livelock.
   void run(Cycle cycles);
 
   /// Runs whole intervals until `app` has issued at least `target`
@@ -50,6 +62,8 @@ class Simulation {
 
  private:
   void maybe_fire_interval();
+  void check_watchdog();
+  u64 progress_signature() const;
 
   Gpu gpu_;
   Cycle interval_length_;
@@ -57,6 +71,10 @@ class Simulation {
   u64 intervals_completed_ = 0;
   std::vector<IntervalObserver*> observers_;
   std::vector<CycleHook*> cycle_hooks_;
+
+  Cycle watchdog_cycles_ = kDefaultWatchdogCycles;
+  Cycle last_progress_cycle_ = 0;
+  u64 last_progress_sig_ = 0;
 };
 
 }  // namespace gpusim

@@ -1,12 +1,12 @@
 #include "harness/runner.hpp"
 
-#include <cassert>
 #include <cstdlib>
 #include <memory>
 
 #include "baselines/asm_model.hpp"
 #include "baselines/mise_model.hpp"
 #include "baselines/priority_epochs.hpp"
+#include "common/sim_error.hpp"
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
 #include "metrics/metrics.hpp"
@@ -25,7 +25,20 @@ u64 app_seed(u64 base_seed, int slot) {
 
 double AppResult::estimation_error_of(const std::string& model) const {
   const auto it = estimates.find(model);
-  assert(it != estimates.end());
+  if (it == estimates.end()) {
+    std::string available;
+    for (const auto& [name, value] : estimates) {
+      if (!available.empty()) available += ", ";
+      available += name;
+    }
+    SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.runner",
+                      "no estimate recorded for the requested model — was it "
+                      "enabled in the ModelSet?")
+                 .detail("requested_model", model)
+                 .detail("app", abbr)
+                 .detail("available_models",
+                         available.empty() ? "(none)" : available));
+  }
   return estimation_error(it->second, actual_slowdown);
 }
 
@@ -51,9 +64,11 @@ const AloneStats& ExperimentRunner::alone_stats(const KernelProfile& profile) {
   if (it != alone_cache_.end()) return it->second;
 
   Simulation sim(rc_.gpu, {AppLaunch{profile, app_seed(rc_.base_seed, 0)}});
+  sim.set_watchdog(rc_.watchdog_cycles);
   Gpu& gpu = sim.gpu();
   gpu.set_partition(even_partition(gpu.num_sms(), 1));
   sim.run(rc_.co_run_cycles);
+  if (rc_.verify_conservation) gpu.verify_conservation();
 
   AloneStats stats;
   stats.cycles = gpu.now();
@@ -89,7 +104,12 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
                                   const ModelSet& models, PolicyKind policy,
                                   const std::vector<int>* sm_split) {
   const int n = static_cast<int>(workload.apps.size());
-  assert(n >= 1 && n <= kMaxApps);
+  SIM_CHECK(n >= 1 && n <= kMaxApps,
+            SimError(SimErrorKind::kHarness, "harness.runner",
+                     "workload must name between 1 and kMaxApps applications")
+                .detail("workload", workload.label())
+                .detail("num_apps", n)
+                .detail("kMaxApps", kMaxApps));
 
   std::vector<AppLaunch> launches;
   launches.reserve(n);
@@ -99,18 +119,30 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   }
 
   Simulation sim(rc_.gpu, std::move(launches));
+  sim.set_watchdog(rc_.watchdog_cycles);
   Gpu& gpu = sim.gpu();
+
+  FaultInjector injector(rc_.faults);
+  if (rc_.faults.any()) gpu.set_fault_injector(&injector);
 
   // Partition the SMs.
   if (sm_split != nullptr) {
-    assert(static_cast<int>(sm_split->size()) == n);
+    SIM_CHECK(static_cast<int>(sm_split->size()) == n,
+              SimError(SimErrorKind::kHarness, "harness.runner",
+                       "sm_split must list one SM count per application")
+                  .detail("split_entries", sm_split->size())
+                  .detail("num_apps", n));
     std::vector<AppId> assignment;
     for (int i = 0; i < n; ++i) {
       for (int k = 0; k < (*sm_split)[i]; ++k) {
         assignment.push_back(i);
       }
     }
-    assert(static_cast<int>(assignment.size()) <= gpu.num_sms());
+    SIM_CHECK(static_cast<int>(assignment.size()) <= gpu.num_sms(),
+              SimError(SimErrorKind::kHarness, "harness.runner",
+                       "sm_split assigns more SMs than the GPU has")
+                  .detail("assigned", assignment.size())
+                  .detail("num_sms", gpu.num_sms()));
     assignment.resize(gpu.num_sms(), kInvalidApp);
     gpu.set_partition(assignment);
   } else if (policy == PolicyKind::kLeftover) {
@@ -166,6 +198,11 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   }
 
   sim.run(rc_.co_run_cycles);
+  // Injected faults intentionally break conservation; the auditor is the
+  // mechanism tests use to detect them, so only a clean run self-audits.
+  if (rc_.verify_conservation && !rc_.faults.any()) {
+    gpu.verify_conservation();
+  }
 
   CoRunResult result;
   result.label = workload.label();

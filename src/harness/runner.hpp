@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/fault_injection.hpp"
 #include "kernels/workload_sets.hpp"
 #include "sched/policies.hpp"
 
@@ -42,6 +43,17 @@ struct RunConfig {
   /// Options for the corresponding PolicyKind.
   TemporalOptions temporal;
   DaseQosOptions qos;
+
+  /// SimGuard: progress-watchdog stall threshold applied to every
+  /// simulation this runner drives (0 disables; default matches
+  /// Simulation::kDefaultWatchdogCycles).
+  Cycle watchdog_cycles = 1'000'000;
+  /// SimGuard: audit end-to-end request conservation after each co-run
+  /// (skipped automatically when faults are being injected).
+  bool verify_conservation = true;
+  /// SimGuard: faults to inject into the co-run (off by default; used by
+  /// tests and the CLI to exercise the watchdog and auditor).
+  FaultPlan faults;
 };
 
 struct ModelSet {

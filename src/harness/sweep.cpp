@@ -1,0 +1,264 @@
+#include "harness/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/sim_error.hpp"
+
+namespace gpusim {
+
+namespace {
+
+/// %.17g round-trips every double bit-exactly, which the byte-identical
+/// resume guarantee depends on.
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Pulls the string value of a top-level `"key":"value"` field out of a
+/// checkpoint line we wrote ourselves.  Returns empty when absent.
+std::string extract_string_field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+struct CheckpointEntry {
+  bool ok = false;
+  std::string result_json;  ///< verbatim "result" object when ok
+  std::string error;
+};
+
+/// Parses the JSONL checkpoint.  The format is our own append-only output,
+/// so field extraction by position is exact, not heuristic; unparseable
+/// lines (e.g. a torn final line from a crash mid-write) are skipped and
+/// their pair simply re-runs.  The last line for a label wins.
+std::map<std::string, CheckpointEntry> load_checkpoint(
+    const std::string& path) {
+  std::map<std::string, CheckpointEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.back() != '}') continue;
+    const std::string label = extract_string_field(line, "label");
+    if (label.empty()) continue;
+    CheckpointEntry entry;
+    entry.ok = line.find("\"ok\":true") != std::string::npos;
+    if (entry.ok) {
+      const auto pos = line.find("\"result\":");
+      if (pos == std::string::npos) continue;
+      entry.result_json =
+          line.substr(pos + 9, line.size() - (pos + 9) - 1);
+    } else {
+      entry.error = extract_string_field(line, "error");
+    }
+    entries[label] = std::move(entry);
+  }
+  return entries;
+}
+
+std::string checkpoint_line(const SweepEntry& entry) {
+  std::ostringstream ss;
+  ss << "{\"label\":\"" << escape_json(entry.label)
+     << "\",\"ok\":" << (entry.ok ? "true" : "false")
+     << ",\"attempts\":" << entry.attempts;
+  if (entry.ok) {
+    ss << ",\"result\":" << entry.result_json;
+  } else {
+    ss << ",\"error\":\"" << escape_json(entry.error) << "\"";
+  }
+  ss << "}";
+  return ss.str();
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts, RunFn run_fn)
+    : opts_(std::move(opts)), run_fn_(std::move(run_fn)) {
+  SIM_CHECK(opts_.max_attempts >= 1,
+            SimError(SimErrorKind::kHarness, "harness.sweep",
+                     "max_attempts must be at least 1")
+                .detail("max_attempts", opts_.max_attempts));
+}
+
+std::string SweepRunner::to_json(const CoRunResult& r) {
+  std::ostringstream ss;
+  ss << "{\"label\":\"" << escape_json(r.label) << "\",\"cycles\":" << r.cycles
+     << ",\"unfairness\":" << fmt_double(r.unfairness)
+     << ",\"harmonic_speedup\":" << fmt_double(r.harmonic_speedup)
+     << ",\"wasted_bw_share\":" << fmt_double(r.wasted_bw_share)
+     << ",\"idle_bw_share\":" << fmt_double(r.idle_bw_share)
+     << ",\"repartitions\":" << r.repartitions << ",\"apps\":[";
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    const AppResult& a = r.apps[i];
+    if (i != 0) ss << ",";
+    ss << "{\"abbr\":\"" << escape_json(a.abbr)
+       << "\",\"instructions\":" << a.instructions
+       << ",\"ipc_shared\":" << fmt_double(a.ipc_shared)
+       << ",\"ipc_alone\":" << fmt_double(a.ipc_alone)
+       << ",\"actual_slowdown\":" << fmt_double(a.actual_slowdown)
+       << ",\"estimates\":{";
+    bool first = true;
+    for (const auto& [model, value] : a.estimates) {  // std::map: sorted
+      if (!first) ss << ",";
+      first = false;
+      ss << "\"" << escape_json(model) << "\":" << fmt_double(value);
+    }
+    ss << "}}";
+  }
+  ss << "],\"app_bw_share\":[";
+  for (std::size_t i = 0; i < r.app_bw_share.size(); ++i) {
+    if (i != 0) ss << ",";
+    ss << fmt_double(r.app_bw_share[i]);
+  }
+  ss << "]}";
+  return ss.str();
+}
+
+std::vector<SweepEntry> SweepRunner::run(
+    const std::vector<Workload>& workloads) {
+  resumed_ = 0;
+  attempts_spent_ = 0;
+
+  std::map<std::string, CheckpointEntry> done;
+  std::ofstream checkpoint;
+  if (!opts_.checkpoint_path.empty()) {
+    done = load_checkpoint(opts_.checkpoint_path);
+    // A crash mid-write leaves a torn final line with no trailing newline.
+    // Appending straight after it would glue our first new line onto the
+    // fragment, and a later resume would then mis-parse the combined line
+    // (the fragment's label with the new line's payload).  Seal the
+    // fragment onto its own line so it stays skippable forever.
+    bool seal_torn_tail = false;
+    {
+      std::ifstream probe(opts_.checkpoint_path, std::ios::binary);
+      if (probe && probe.seekg(0, std::ios::end) && probe.tellg() > 0) {
+        probe.seekg(-1, std::ios::end);
+        char last = '\n';
+        seal_torn_tail = probe.get(last) && last != '\n';
+      }
+    }
+    checkpoint.open(opts_.checkpoint_path, std::ios::app);
+    SIM_CHECK(checkpoint.good(),
+              SimError(SimErrorKind::kHarness, "harness.sweep",
+                       "cannot open checkpoint file for append")
+                  .detail("path", opts_.checkpoint_path));
+    if (seal_torn_tail) checkpoint << "\n";
+  }
+
+  std::vector<SweepEntry> entries;
+  entries.reserve(workloads.size());
+  for (const Workload& workload : workloads) {
+    SweepEntry entry;
+    entry.label = workload.label();
+
+    const auto it = done.find(entry.label);
+    if (it != done.end() && it->second.ok) {
+      entry.ok = true;
+      entry.from_checkpoint = true;
+      entry.result_json = it->second.result_json;
+      ++resumed_;
+      entries.push_back(std::move(entry));
+      continue;
+    }
+
+    for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+      entry.attempts = attempt;
+      ++attempts_spent_;
+      try {
+        const CoRunResult result = run_fn_(workload);
+        entry.ok = true;
+        entry.result_json = to_json(result);
+        break;
+      } catch (const std::exception& e) {
+        entry.error = e.what();
+        if (attempt < opts_.max_attempts && opts_.backoff_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opts_.backoff_ms * attempt));
+        }
+      }
+    }
+
+    if (checkpoint.is_open()) {
+      // One line per finished pair, flushed before the next pair starts, so
+      // a crash at any point loses at most the pair in progress.
+      checkpoint << checkpoint_line(entry) << "\n";
+      checkpoint.flush();
+    }
+    if (!entry.ok && opts_.fail_fast) {
+      SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",
+                        "workload pair failed and fail_fast is set")
+                   .detail("workload", entry.label)
+                   .detail("attempts", entry.attempts)
+                   .detail("last_error", entry.error));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void SweepRunner::write_results(const std::string& path,
+                                const std::vector<SweepEntry>& entries) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    SIM_CHECK(out.good(), SimError(SimErrorKind::kHarness, "harness.sweep",
+                                   "cannot open results file for writing")
+                              .detail("path", tmp));
+    out << "{\"results\":[\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const SweepEntry& entry = entries[i];
+      if (entry.ok) {
+        out << entry.result_json;
+      } else {
+        out << "{\"label\":\"" << escape_json(entry.label)
+            << "\",\"failed\":true,\"error\":\"" << escape_json(entry.error)
+            << "\"}";
+      }
+      out << (i + 1 < entries.size() ? ",\n" : "\n");
+    }
+    out << "]}\n";
+  }
+  // Atomic publish: readers see either the old results or the new ones,
+  // never a truncated file.
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace gpusim

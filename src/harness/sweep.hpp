@@ -1,0 +1,93 @@
+// SimGuard crash-safe sweep runner.
+//
+// The paper's headline experiments iterate all 105 two-application
+// workload pairs for millions of cycles each; a crash (or an injected
+// fault, or an operator Ctrl-C) hours in used to throw the whole sweep
+// away.  SweepRunner checkpoints every finished pair as one JSONL line,
+// flushed before the next pair starts, so a restarted sweep skips
+// completed pairs and re-runs only the missing ones.  Completed results
+// are replayed verbatim from the checkpoint, and the final results file is
+// assembled in workload order from those stored lines — an interrupted +
+// resumed sweep produces a byte-identical file to an uninterrupted one.
+//
+// Pairs that throw (SimError or anything else) are retried up to
+// `max_attempts` times with linear backoff; a pair that keeps failing is
+// recorded with its error and the sweep moves on (or aborts immediately
+// under `fail_fast`).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "kernels/workload_sets.hpp"
+
+namespace gpusim {
+
+struct SweepOptions {
+  /// JSONL checkpoint file, appended after every pair.  Empty disables
+  /// checkpointing (the sweep still retries, but cannot resume).
+  std::string checkpoint_path;
+  /// Total tries per pair (first run + retries).
+  int max_attempts = 3;
+  /// Sleep `backoff_ms * attempt` between retries of the same pair.
+  int backoff_ms = 0;
+  /// Abort the sweep (rethrow as SimError(kHarness)) on the first pair that
+  /// exhausts its attempts, instead of recording the failure and moving on.
+  bool fail_fast = false;
+};
+
+/// Outcome of one workload pair within a sweep.
+struct SweepEntry {
+  std::string label;
+  bool ok = false;
+  /// Attempts spent in the run that produced this entry (0 when the entry
+  /// was replayed from a checkpoint).
+  int attempts = 0;
+  /// True when the entry was taken from the checkpoint instead of re-run.
+  bool from_checkpoint = false;
+  /// Last error message when !ok.
+  std::string error;
+  /// Serialized CoRunResult (the checkpoint line's "result" object,
+  /// verbatim) when ok.
+  std::string result_json;
+};
+
+class SweepRunner {
+ public:
+  /// The function that actually runs one workload.  Tests substitute flaky
+  /// or failing runners here; production code wraps ExperimentRunner::run.
+  using RunFn = std::function<CoRunResult(const Workload&)>;
+
+  SweepRunner(SweepOptions opts, RunFn run_fn);
+
+  /// Runs every workload (resuming from the checkpoint when one exists)
+  /// and returns one entry per workload, in workload order.
+  std::vector<SweepEntry> run(const std::vector<Workload>& workloads);
+
+  /// Workloads skipped in the last run() because the checkpoint already
+  /// held a successful result for them.
+  int resumed() const { return resumed_; }
+  /// Total attempts spent across all pairs in the last run().
+  int attempts_spent() const { return attempts_spent_; }
+
+  /// Writes the final results file: a JSON array of the per-pair result
+  /// objects in entry order (failed pairs appear as {"label":…,"failed":
+  /// true,"error":…}).  Written via a temp file + rename so a crash never
+  /// leaves a truncated results file.
+  static void write_results(const std::string& path,
+                            const std::vector<SweepEntry>& entries);
+
+  /// Deterministic serialization of one co-run result (doubles printed
+  /// with %.17g so they round-trip bit-exactly).
+  static std::string to_json(const CoRunResult& result);
+
+ private:
+  SweepOptions opts_;
+  RunFn run_fn_;
+  int resumed_ = 0;
+  int attempts_spent_ = 0;
+};
+
+}  // namespace gpusim

@@ -11,9 +11,8 @@
 // interference at the heart of the paper's motivation (Fig. 2).
 #pragma once
 
-#include <cassert>
-
 #include "common/config.hpp"
+#include "common/sim_error.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -31,7 +30,11 @@ class AddressMap {
         num_partitions_(cfg.num_partitions),
         banks_per_mc_(cfg.banks_per_mc),
         lines_per_row_(cfg.lines_per_row()) {
-    assert(lines_per_row_ > 0);
+    SIM_CHECK(lines_per_row_ > 0,
+              SimError(SimErrorKind::kConfig, "mem.address_map",
+                       "row must hold at least one cache line")
+                  .detail("row_bytes", cfg.row_bytes)
+                  .detail("line_bytes", cfg.line_bytes));
   }
 
   DramCoordinates decode(u64 addr) const {

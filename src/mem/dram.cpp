@@ -1,6 +1,6 @@
 #include "mem/dram.hpp"
 
-#include <cassert>
+#include "common/sim_error.hpp"
 
 namespace gpusim {
 
@@ -11,16 +11,32 @@ MemoryController::MemoryController(const GpuConfig& cfg, int num_apps)
       banks_(cfg.banks_per_mc),
       queued_per_bank_app_(cfg.banks_per_mc),
       exec_per_bank_app_(cfg.banks_per_mc) {
-  assert(num_apps_ > 0 && num_apps_ <= kMaxApps);
-  assert(cfg.banks_per_mc <= 32 && "bank bitmasks are 32 bits wide");
+  SIM_CHECK(num_apps_ > 0 && num_apps_ <= kMaxApps,
+            SimError(SimErrorKind::kConfig, "mem.dram",
+                     "application count out of range")
+                .detail("num_apps", num_apps_)
+                .detail("kMaxApps", kMaxApps));
+  SIM_CHECK(cfg.banks_per_mc <= 32,
+            SimError(SimErrorKind::kConfig, "mem.dram",
+                     "banks_per_mc exceeds 32-bit bank bitmask width")
+                .detail("banks_per_mc", cfg.banks_per_mc));
   last_row_.assign(num_apps_, std::vector<u64>(cfg_.banks_per_mc, 0));
   last_row_valid_.assign(num_apps_,
                          std::vector<bool>(cfg_.banks_per_mc, false));
 }
 
 bool MemoryController::try_enqueue(const DramCmd& cmd) {
-  assert(cmd.app >= 0 && cmd.app < num_apps_);
-  assert(cmd.bank >= 0 && cmd.bank < cfg_.banks_per_mc);
+  SIM_CHECK(cmd.app >= 0 && cmd.app < num_apps_,
+            SimError(SimErrorKind::kInvariant, "mem.dram",
+                     "DRAM command for unknown application")
+                .app(cmd.app)
+                .detail("num_apps", num_apps_));
+  SIM_CHECK(cmd.bank >= 0 && cmd.bank < cfg_.banks_per_mc,
+            SimError(SimErrorKind::kInvariant, "mem.dram",
+                     "DRAM command routed to nonexistent bank")
+                .app(cmd.app)
+                .detail("bank", cmd.bank)
+                .detail("banks_per_mc", cfg_.banks_per_mc));
   if (queue_full()) return false;
   queue_.push_back(cmd);
   if (queued_per_bank_app_[cmd.bank][cmd.app]++ == 0) {

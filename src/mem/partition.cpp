@@ -1,12 +1,14 @@
 #include "mem/partition.hpp"
 
-#include <cassert>
-
 namespace gpusim {
 
 namespace {
-constexpr int kL2PortsPerCycle = 2;     // request-consumption bandwidth
-constexpr int kRespQueueCapacity = 1024;  // drained 1/cycle by the crossbar
+constexpr int kL2PortsPerCycle = 2;  // request-consumption bandwidth
+/// Hard ceiling on the deferred DRAM-fill responses a partition may hold
+/// while its response queue is saturated.  Reaching it means the response
+/// path has been wedged for thousands of cycles — a real bug, not
+/// transient backpressure — so SimGuard turns it into a diagnosis.
+constexpr std::size_t kDeferredRespHardCap = 1 << 16;
 }  // namespace
 
 MemoryPartition::MemoryPartition(const GpuConfig& cfg, int num_apps,
@@ -17,7 +19,7 @@ MemoryPartition::MemoryPartition(const GpuConfig& cfg, int num_apps,
       l2_(cfg.l2_num_sets(), cfg.l2_assoc, cfg.line_bytes),
       mshr_(cfg.l2_mshr_entries),
       mc_(cfg, num_apps),
-      resp_queue_(kRespQueueCapacity) {
+      resp_queue_(cfg.partition_resp_queue_depth) {
   atds_.reserve(num_apps);
   for (int a = 0; a < num_apps; ++a) {
     atds_.push_back(std::make_unique<SampledAtd>(
@@ -26,8 +28,31 @@ MemoryPartition::MemoryPartition(const GpuConfig& cfg, int num_apps,
   }
 }
 
+void MemoryPartition::push_response(MemResponsePacket resp, Cycle now) {
+  if (taps_ != nullptr) taps_->responses_enqueued.add(resp.app);
+  if (resp_queue_.try_push(resp)) return;
+  // Response queue saturated: defer instead of dropping.  The deferred
+  // FIFO drains into the response queue ahead of new traffic, preserving
+  // order among fills; a hard cap bounds pathological wedges.
+  SIM_CHECK(deferred_resps_.size() < kDeferredRespHardCap,
+            SimError(SimErrorKind::kQueueOverflow, "mem.partition",
+                     "response path wedged: deferred-response overflow")
+                .cycle(now)
+                .app(resp.app)
+                .detail("partition", id_)
+                .detail("resp_queue_capacity", resp_queue_.capacity())
+                .detail("deferred", deferred_resps_.size()));
+  deferred_resps_.push_back(resp);
+}
+
 void MemoryPartition::cycle(Cycle now,
                             BoundedQueue<MemRequestPacket>& in_queue) {
+  // 0. Drain previously deferred responses ahead of new traffic.
+  while (!deferred_resps_.empty() &&
+         resp_queue_.try_push(deferred_resps_.front())) {
+    deferred_resps_.pop_front();
+  }
+
   // 1. DRAM progress; retire completed lines into the L2 and fan responses
   //    out to every MSHR waiter.
   completed_scratch_.clear();
@@ -41,17 +66,20 @@ void MemoryPartition::cycle(Cycle now,
       resp.sm = w.sm;
       resp.warp = w.warp;
       resp.ready = now + cfg_.l2_miss_extra_latency;
-      const bool pushed = resp_queue_.try_push(resp);
-      assert(pushed && "partition response queue overflow");
-      (void)pushed;
+      push_response(resp, now);
     }
   }
 
-  // 2. Matured L2 hits become responses.
+  // 2. Matured L2 hits become responses; a full response queue
+  //    back-pressures them (they retry next cycle, order preserved).
   while (!pending_hits_.empty() && pending_hits_.front().ready <= now) {
+    if (resp_queue_.full()) break;
+    if (taps_ != nullptr) taps_->responses_enqueued.add(pending_hits_.front().app);
     const bool pushed = resp_queue_.try_push(pending_hits_.front());
-    assert(pushed && "partition response queue overflow");
-    (void)pushed;
+    SIM_CHECK(pushed, SimError(SimErrorKind::kQueueOverflow, "mem.partition",
+                               "response queue overflow after full() check")
+                          .cycle(now)
+                          .detail("partition", id_));
     pending_hits_.pop_front();
   }
 
@@ -66,6 +94,13 @@ void MemoryPartition::cycle(Cycle now,
   };
   for (int port = 0; port < kL2PortsPerCycle; ++port) {
     if (in_queue.empty() || in_queue.front().ready > now) break;
+    if (injector_ != nullptr && injector_->should_drop_request()) {
+      // Injected fault: the packet vanishes without being processed, as a
+      // real routing bug would make it.  The conservation taps are *not*
+      // told — the auditor must discover the leak on its own.
+      in_queue.pop();
+      continue;
+    }
     const MemRequestPacket& req = in_queue.front();
     const u64 line = req.line_addr;
 
@@ -73,6 +108,7 @@ void MemoryPartition::cycle(Cycle now,
       // Merge into the in-flight miss; no new DRAM request, no ATD change
       // (the primary miss already updated the alone-model).
       note_access(req.app);
+      if (taps_ != nullptr) taps_->requests_consumed.add(req.app);
       mshr_.allocate(line, {req.sm, req.warp, req.app});
       in_queue.pop();
       continue;
@@ -85,6 +121,7 @@ void MemoryPartition::cycle(Cycle now,
       if (mshr_.full() || mc_.queue_full()) break;
 
       note_access(req.app);
+      if (taps_ != nullptr) taps_->requests_consumed.add(req.app);
       l2_.lookup_touch(line, req.app);  // records the miss
       // DASE Eq. 13 contention-miss detection: an L2 miss that hits in the
       // application's private (alone-model) tag directory means the line
@@ -104,14 +141,20 @@ void MemoryPartition::cycle(Cycle now,
       cmd.row = coords.row;
       cmd.enqueued = now;
       const bool queued = mc_.try_enqueue(cmd);
-      assert(queued && "MC queue full after capacity check");
-      (void)queued;
+      SIM_CHECK(queued,
+                SimError(SimErrorKind::kQueueOverflow, "mem.partition",
+                         "MC queue full after capacity check")
+                    .cycle(now)
+                    .app(req.app)
+                    .detail("partition", id_)
+                    .detail("mc_queue_size", mc_.queue_size()));
       in_queue.pop();
       continue;
     }
 
     // L2 hit.
     note_access(req.app);
+    if (taps_ != nullptr) taps_->requests_consumed.add(req.app);
     counters_.l2_hits.add(req.app);
     l2_.lookup_touch(line, req.app);
     SampledAtd& atd = *atds_[req.app];
@@ -125,6 +168,19 @@ void MemoryPartition::cycle(Cycle now,
     resp.ready = now + cfg_.l2_hit_latency;
     pending_hits_.push_back(resp);
     in_queue.pop();
+  }
+}
+
+void MemoryPartition::count_in_flight(std::array<u64, kMaxApps>& out) const {
+  mshr_.count_waiters_by_app(out);
+  for (const MemResponsePacket& r : pending_hits_) {
+    if (r.app >= 0 && r.app < kMaxApps) ++out[r.app];
+  }
+  for (const MemResponsePacket& r : deferred_resps_) {
+    if (r.app >= 0 && r.app < kMaxApps) ++out[r.app];
+  }
+  for (const MemResponsePacket& r : resp_queue_) {
+    if (r.app >= 0 && r.app < kMaxApps) ++out[r.app];
   }
 }
 

@@ -4,6 +4,7 @@
 // memory subsystem").
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -11,8 +12,11 @@
 #include "cache/atd.hpp"
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
+#include "common/audit.hpp"
 #include "common/bounded_queue.hpp"
 #include "common/config.hpp"
+#include "common/fault_injection.hpp"
+#include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "mem/address_map.hpp"
 #include "mem/dram.hpp"
@@ -46,10 +50,21 @@ class MemoryPartition {
 
   /// Output queue the response crossbar drains.
   BoundedQueue<MemResponsePacket>& resp_queue() { return resp_queue_; }
+  const BoundedQueue<MemResponsePacket>& resp_queue() const {
+    return resp_queue_;
+  }
 
   /// Advances one cycle: progresses DRAM, retires fills, consumes the
   /// request crossbar's delivery queue `in_queue` through the L2 stage.
   void cycle(Cycle now, BoundedQueue<MemRequestPacket>& in_queue);
+
+  /// SimGuard wiring (both optional; owned by the Gpu).
+  void set_taps(ConservationTaps* taps) { taps_ = taps; }
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Adds every response this partition still owes (MSHR waiters, pending
+  /// hits, deferred and queued responses) to the per-app tally.
+  void count_in_flight(std::array<u64, kMaxApps>& out) const;
 
   MemoryController& mc() { return mc_; }
   const MemoryController& mc() const { return mc_; }
@@ -67,11 +82,15 @@ class MemoryPartition {
   /// Outstanding work in this partition (for drain checks).
   bool quiescent() const {
     return resp_queue_.empty() && mshr_.in_flight() == 0 &&
-           pending_hits_.empty() && mc_.total_outstanding() == 0;
+           pending_hits_.empty() && deferred_resps_.empty() &&
+           mc_.total_outstanding() == 0;
   }
 
+  std::size_t deferred_responses() const { return deferred_resps_.size(); }
+  int mshr_in_flight() const { return mshr_.in_flight(); }
+
  private:
-  void handle_request(const MemRequestPacket& req, Cycle now);
+  void push_response(MemResponsePacket resp, Cycle now);
 
   const GpuConfig& cfg_;
   PartitionId id_;
@@ -86,9 +105,13 @@ class MemoryPartition {
   /// L2 hits in flight: responses mature after l2_hit_latency (FIFO works
   /// because the latency is constant).
   std::deque<MemResponsePacket> pending_hits_;
+  /// DRAM-fill responses awaiting space in the saturated response queue.
+  std::deque<MemResponsePacket> deferred_resps_;
 
   std::vector<DramCmd> completed_scratch_;
   PartitionCounters counters_;
+  ConservationTaps* taps_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -12,11 +12,11 @@
 // are interference channels between concurrent applications.
 #pragma once
 
-#include <cassert>
 #include <functional>
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/sim_error.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -34,7 +34,12 @@ class CrossbarChannel {
         route_(std::move(route)),
         rr_(num_dests, 0),
         source_sent_(num_sources, 0) {
-    assert(num_sources > 0 && num_dests > 0 && accepts_per_cycle > 0);
+    SIM_CHECK(num_sources > 0 && num_dests > 0 && accepts_per_cycle > 0,
+              SimError(SimErrorKind::kConfig, "noc.crossbar",
+                       "crossbar dimensions must be positive")
+                  .detail("num_sources", num_sources)
+                  .detail("num_dests", num_dests)
+                  .detail("accepts_per_cycle", accepts_per_cycle));
     dest_queues_.reserve(num_dests);
     for (int d = 0; d < num_dests; ++d) {
       dest_queues_.emplace_back(dest_queue_depth);
@@ -45,7 +50,8 @@ class CrossbarChannel {
   /// `sources[s]` is the output FIFO of source port s.
   void transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
     const int num_sources = static_cast<int>(sources.size());
-    assert(num_sources == static_cast<int>(source_sent_.size()));
+    SIM_INVARIANT(num_sources == static_cast<int>(source_sent_.size()),
+                  "noc.crossbar", "source port count changed after wiring");
     std::fill(source_sent_.begin(), source_sent_.end(), 0);
 
     for (int d = 0; d < static_cast<int>(dest_queues_.size()); ++d) {
@@ -62,8 +68,12 @@ class CrossbarChannel {
         Packet p = sq.pop();
         p.ready = now + latency_;
         const bool ok = dq.try_push(std::move(p));
-        assert(ok);
-        (void)ok;
+        SIM_CHECK(ok, SimError(SimErrorKind::kQueueOverflow, "noc.crossbar",
+                               "destination queue overflow after full() check")
+                          .cycle(now)
+                          .detail("dest_port", d)
+                          .detail("occupancy", dq.size())
+                          .detail("capacity", dq.capacity()));
         source_sent_[s] = 1;
         ++accepted;
         rr_[d] = (s + 1) % num_sources;

@@ -1,7 +1,5 @@
 #include "sm/sm_core.hpp"
 
-#include <cassert>
-
 namespace gpusim {
 
 namespace {
@@ -21,8 +19,12 @@ SmCore::SmCore(const GpuConfig& cfg, SmId id, const AddressMap& address_map)
 }
 
 void SmCore::assign(BlockSource* source) {
-  assert(source != nullptr);
-  assert(source_ == nullptr && "assign() on an SM that was not released");
+  SIM_INVARIANT(source != nullptr, "sm.core", "assign() with null source");
+  SIM_CHECK(source_ == nullptr,
+            SimError(SimErrorKind::kInvariant, "sm.core",
+                     "assign() on an SM that was not released")
+                .app(app())
+                .detail("sm", id_));
   source_ = source;
   draining_ = false;
   refill_blocks();
@@ -43,7 +45,14 @@ bool SmCore::drained() const {
 }
 
 void SmCore::release() {
-  assert(drained() && "release() of an SM still holding work");
+  SIM_CHECK(drained(),
+            SimError(SimErrorKind::kInvariant, "sm.core",
+                     "release() of an SM still holding work")
+                .app(app())
+                .detail("sm", id_)
+                .detail("live_warps", live_warps())
+                .detail("out_queue", out_queue_.size())
+                .detail("l1_mshr_in_flight", l1_mshr_.in_flight()));
   source_ = nullptr;
   draining_ = false;
   last_issued_ = -1;
@@ -171,8 +180,13 @@ void SmCore::dispatch_pending(Cycle now) {
     pkt.dest = address_map_.partition_of(line);
     pkt.ready = now;
     const bool pushed = out_queue_.try_push(pkt);
-    assert(pushed);
-    (void)pushed;
+    SIM_CHECK(pushed, SimError(SimErrorKind::kQueueOverflow, "sm.core",
+                               "out queue overflow after full() check")
+                          .cycle(now)
+                          .app(app())
+                          .detail("sm", id_)
+                          .detail("occupancy", out_queue_.size()));
+    if (taps_ != nullptr) taps_->requests_sent.add(app());
     pending_txns_.pop_front();
   }
 }
@@ -237,7 +251,15 @@ void SmCore::issue(Cycle now) {
 
 void SmCore::complete_txn(WarpId warp_id) {
   WarpCtx& warp = warps_[warp_id];
-  assert(warp.state == WarpCtx::State::kWaitingMem && warp.outstanding > 0);
+  SIM_CHECK(warp.state == WarpCtx::State::kWaitingMem && warp.outstanding > 0,
+            SimError(SimErrorKind::kInvariant, "sm.core",
+                     "memory completion for a warp that is not waiting "
+                     "(duplicated response?)")
+                .app(app())
+                .detail("sm", id_)
+                .detail("warp", warp_id)
+                .detail("state", static_cast<int>(warp.state))
+                .detail("outstanding", warp.outstanding));
   if (--warp.outstanding == 0) {
     if (warp.instrs_done >= warp.budget) {
       retire_warp(warp_id);
@@ -251,7 +273,13 @@ void SmCore::retire_warp(WarpId warp_id) {
   WarpCtx& warp = warps_[warp_id];
   warp.state = WarpCtx::State::kDone;
   BlockSlot& block = blocks_[warp.block_slot];
-  assert(block.active && block.warps_remaining > 0);
+  SIM_CHECK(block.active && block.warps_remaining > 0,
+            SimError(SimErrorKind::kInvariant, "sm.core",
+                     "warp retired into an inactive or exhausted block slot")
+                .app(app())
+                .detail("sm", id_)
+                .detail("block_slot", warp.block_slot)
+                .detail("warps_remaining", block.warps_remaining));
   if (--block.warps_remaining == 0) {
     block.active = false;
     source_->on_block_complete(block.block_index);

@@ -17,8 +17,10 @@
 
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
+#include "common/audit.hpp"
 #include "common/bounded_queue.hpp"
 #include "common/config.hpp"
+#include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "kernels/address_stream.hpp"
 #include "mem/address_map.hpp"
@@ -79,10 +81,26 @@ class SmCore {
   void receive(const MemResponsePacket& resp);
 
   BoundedQueue<MemRequestPacket>& out_queue() { return out_queue_; }
+  const BoundedQueue<MemRequestPacket>& out_queue() const {
+    return out_queue_;
+  }
 
   /// Optional per-application instruction counter (owned by the GPU) that
   /// issue() also increments, so per-app IPC survives SM reassignment.
   void set_instr_sink(PerAppCounter* sink) { instr_sink_ = sink; }
+
+  /// Optional SimGuard conservation taps (owned by the GPU): every packet
+  /// pushed into the out queue is counted as a sent request.
+  void set_taps(ConservationTaps* taps) { taps_ = taps; }
+
+  /// Warps currently blocked on outstanding memory transactions.
+  int waiting_warps() const {
+    int n = 0;
+    for (const WarpCtx& w : warps_) {
+      n += w.state == WarpCtx::State::kWaitingMem ? 1 : 0;
+    }
+    return n;
+  }
 
   AppId app() const { return source_ != nullptr ? source_->app() : kInvalidApp; }
   bool assigned() const { return source_ != nullptr; }
@@ -145,6 +163,7 @@ class SmCore {
   std::vector<u64> addr_scratch_;
   SmCounters counters_;
   PerAppCounter* instr_sink_ = nullptr;
+  ConservationTaps* taps_ = nullptr;
 };
 
 }  // namespace gpusim

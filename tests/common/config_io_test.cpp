@@ -67,6 +67,64 @@ TEST(ConfigIoTest, InvalidResultingConfigRejected) {
   EXPECT_THROW(read_config(ss), std::invalid_argument);
 }
 
+/// Runs read_config and returns the failure message (empty = no throw).
+std::string read_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    read_config(ss);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ConfigIoTest, UnknownKeyNamesOffendingLine) {
+  const std::string msg = read_error(
+      "# header\n"
+      "num_sms = 8\n"
+      "nmu_sms = 4\n");
+  EXPECT_NE(msg.find("config line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("nmu_sms"), std::string::npos) << msg;
+}
+
+TEST(ConfigIoTest, MalformedValueNamesLineAndKey) {
+  const std::string msg = read_error("num_sms = four\n");
+  EXPECT_NE(msg.find("config line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("num_sms"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("four"), std::string::npos) << msg;
+
+  const std::string no_eq = read_error("\n\nnum_sms 4\n");
+  EXPECT_NE(no_eq.find("config line 3"), std::string::npos) << no_eq;
+}
+
+TEST(ConfigIoTest, ValidateRejectionPointsAtOffendingLine) {
+  // banks_per_mc = 64 parses fine but fails validate(); the error must be
+  // attributed to line 2, where the bad value was set.
+  const std::string msg = read_error(
+      "num_sms = 8\n"
+      "banks_per_mc = 64\n");
+  EXPECT_NE(msg.find("config line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("banks_per_mc"), std::string::npos) << msg;
+}
+
+TEST(ConfigIoTest, NegativeQueueDepthRejected) {
+  const std::string msg = read_error("partition_resp_queue_depth = -1\n");
+  EXPECT_NE(msg.find("config line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("partition_resp_queue_depth"), std::string::npos) << msg;
+}
+
+TEST(ConfigIoTest, DirectoryAsConfigFileRejected) {
+  EXPECT_THROW(load_config(::testing::TempDir()), std::runtime_error);
+}
+
+TEST(ConfigIoTest, RoundTripIncludesRespQueueDepth) {
+  GpuConfig cfg;
+  cfg.partition_resp_queue_depth = 77;
+  std::stringstream ss;
+  write_config(ss, cfg);
+  EXPECT_EQ(read_config(ss).partition_resp_queue_depth, 77);
+}
+
 TEST(ConfigIoTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "gpusim_cfg_test.cfg";
   GpuConfig cfg;

@@ -1,0 +1,110 @@
+#include "common/sim_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gpusim {
+namespace {
+
+TEST(SimErrorTest, WhatRendersKindComponentAndMessage) {
+  const SimError e(SimErrorKind::kQueueOverflow, "mem.partition",
+                   "response queue overflow");
+  const std::string what = e.what();
+  EXPECT_NE(what.find("queue-overflow"), std::string::npos);
+  EXPECT_NE(what.find("mem.partition"), std::string::npos);
+  EXPECT_NE(what.find("response queue overflow"), std::string::npos);
+}
+
+TEST(SimErrorTest, FluentContextAppearsInWhat) {
+  SimError e(SimErrorKind::kInvariant, "sm.core", "bad warp");
+  e.cycle(12345).app(1).detail("occupancy", 32).detail("depth", 64);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("cycle: 12345"), std::string::npos);
+  EXPECT_NE(what.find("app: 1"), std::string::npos);
+  EXPECT_NE(what.find("occupancy: 32"), std::string::npos);
+  EXPECT_NE(what.find("depth: 64"), std::string::npos);
+}
+
+TEST(SimErrorTest, AccessorsExposeStructuredFields) {
+  SimError e(SimErrorKind::kConservation, "gpu", "leak");
+  e.cycle(7).app(2);
+  EXPECT_EQ(e.kind(), SimErrorKind::kConservation);
+  EXPECT_EQ(e.component(), "gpu");
+  EXPECT_EQ(e.message(), "leak");
+  EXPECT_TRUE(e.has_cycle());
+  EXPECT_EQ(e.error_cycle(), 7u);
+  EXPECT_EQ(e.error_app(), 2);
+}
+
+TEST(SimErrorTest, MultiLineDetailGetsOwnBlock) {
+  SimError e(SimErrorKind::kWatchdogStall, "gpu", "stalled");
+  e.detail("pipeline_state", "sm 0: idle\nsm 1: busy");
+  const std::string what = e.what();
+  EXPECT_NE(what.find("pipeline_state:\n"), std::string::npos);
+  EXPECT_NE(what.find("sm 1: busy"), std::string::npos);
+}
+
+TEST(SimErrorTest, CatchableAsRuntimeError) {
+  try {
+    SIM_FAIL(SimError(SimErrorKind::kHarness, "test", "boom"));
+    FAIL() << "SIM_FAIL did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(SimErrorTest, SimCheckPassesSilently) {
+  EXPECT_NO_THROW(SIM_CHECK(
+      1 + 1 == 2, SimError(SimErrorKind::kInvariant, "test", "never")));
+}
+
+TEST(SimErrorTest, SimCheckAttachesConditionAndLocation) {
+  try {
+    const int occupancy = 9;
+    SIM_CHECK(occupancy < 8,
+              SimError(SimErrorKind::kQueueOverflow, "test", "full")
+                  .detail("occupancy", occupancy));
+    FAIL() << "SIM_CHECK did not throw";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("occupancy < 8"), std::string::npos);
+    EXPECT_NE(what.find("sim_error_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("occupancy: 9"), std::string::npos);
+  }
+}
+
+TEST(SimErrorTest, SimInvariantShorthandThrowsInvariantKind) {
+  try {
+    SIM_INVARIANT(false, "noc.crossbar", "dest out of range");
+    FAIL() << "SIM_INVARIANT did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kInvariant);
+    EXPECT_EQ(e.component(), "noc.crossbar");
+  }
+}
+
+TEST(SimErrorTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(to_string(SimErrorKind::kInvariant),
+               to_string(SimErrorKind::kQueueOverflow));
+  EXPECT_STRNE(to_string(SimErrorKind::kWatchdogStall),
+               to_string(SimErrorKind::kConservation));
+  EXPECT_STRNE(to_string(SimErrorKind::kConfig),
+               to_string(SimErrorKind::kHarness));
+}
+
+TEST(SimErrorTest, ChecksSurviveNdebug) {
+  // The whole point of SimGuard: these are not assert()s.  This test file
+  // is compiled exactly like the release targets, so if NDEBUG were to
+  // strip the checks this would silently pass a false condition.
+  bool threw = false;
+  try {
+    SIM_INVARIANT(false, "test", "always-on");
+  } catch (const SimError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "common/sim_error.hpp"
 #include "kernels/app_registry.hpp"
 
 namespace gpusim {
@@ -106,6 +109,33 @@ TEST(RunnerTest, MeanErrorAggregatesPerApp) {
   double sum = 0.0;
   for (const AppResult& a : r.apps) sum += a.estimation_error_of("DASE");
   EXPECT_NEAR(r.mean_error_of("DASE"), sum / 2.0, 1e-12);
+}
+
+TEST(RunnerTest, MissingModelEstimateRaisesStructuredError) {
+  AppResult app;
+  app.abbr = "VA";
+  app.actual_slowdown = 2.0;
+  app.estimates["DASE"] = 1.8;
+  try {
+    app.estimation_error_of("MISE");
+    FAIL() << "estimation_error_of accepted a model that never ran";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kHarness);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MISE"), std::string::npos);
+    EXPECT_NE(what.find("DASE"), std::string::npos)
+        << "message should list the models that are available";
+    EXPECT_NE(what.find("VA"), std::string::npos);
+  }
+}
+
+TEST(RunnerTest, OversubscribedSplitRaisesStructuredError) {
+  ExperimentRunner runner(quick_config());
+  const Workload w{{*find_app("VA"), *find_app("SD")}};
+  const std::vector<int> split = {100, 100};
+  EXPECT_THROW(runner.run(w, ModelSet{.dase = true}, PolicyKind::kEven,
+                          &split),
+               SimError);
 }
 
 TEST(RunnerTest, CyclesFromEnvParsesAndFallsBack) {

@@ -1,0 +1,201 @@
+// SimGuard end-to-end: injected faults must be caught by the layer that
+// owns them — a dropped response/request by the conservation auditor, a
+// stalled partition by the progress watchdog — and a healthy run must pass
+// both checks silently.  These tests run in the same (optimized) build
+// mode as the bench binaries: nothing here depends on NDEBUG being unset.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/sim_error.hpp"
+#include "gpu/simulator.hpp"
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+const KernelProfile& memory_bound_app() {
+  const KernelProfile* best = &app_registry()[0];
+  for (const KernelProfile& app : app_registry()) {
+    if (app.mem_fraction > best->mem_fraction) best = &app;
+  }
+  return *best;
+}
+
+std::vector<AppLaunch> two_app_launches() {
+  const auto& apps = app_registry();
+  return {AppLaunch{apps[0], 42}, AppLaunch{apps[1], 43}};
+}
+
+TEST(SimGuardAudit, CleanRunConservesEveryRequest) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  Gpu& gpu = sim.gpu();
+
+  // Mid-run, with traffic in flight everywhere, the walk must balance.
+  sim.run(10'000);
+  const AuditReport mid = gpu.audit_conservation();
+  EXPECT_TRUE(mid.ok()) << mid.to_string();
+  EXPECT_GT(mid.sent[0] + mid.sent[1], 0u);
+
+  sim.run(50'000);
+  const AuditReport end = gpu.audit_conservation();
+  EXPECT_TRUE(end.ok()) << end.to_string();
+  EXPECT_NO_THROW(gpu.verify_conservation());
+}
+
+TEST(SimGuardAudit, DroppedResponseIsReportedAsLeak) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  Gpu& gpu = sim.gpu();
+
+  FaultPlan plan;
+  plan.drop_response_nth = 200;
+  FaultInjector injector(plan);
+  gpu.set_fault_injector(&injector);
+
+  sim.run(60'000);
+  ASSERT_EQ(injector.responses_dropped(), 1u);
+
+  const AuditReport report = gpu.audit_conservation();
+  EXPECT_FALSE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.total_leaked(), 1);
+
+  try {
+    gpu.verify_conservation();
+    FAIL() << "verify_conservation did not throw on a leaked response";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kConservation);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("leaked"), std::string::npos);
+  }
+}
+
+TEST(SimGuardAudit, DroppedRequestIsReportedAsLeak) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  Gpu& gpu = sim.gpu();
+
+  FaultPlan plan;
+  plan.drop_request_nth = 100;
+  FaultInjector injector(plan);
+  gpu.set_fault_injector(&injector);
+
+  sim.run(60'000);
+  ASSERT_EQ(injector.requests_dropped(), 1u);
+
+  const AuditReport report = gpu.audit_conservation();
+  EXPECT_FALSE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.total_leaked(), 1);
+  EXPECT_THROW(gpu.verify_conservation(), SimError);
+}
+
+TEST(SimGuardWatchdog, StalledPartitionTripsWatchdogWithStateDump) {
+  GpuConfig cfg;
+  const KernelProfile& app = memory_bound_app();
+  Simulation sim(cfg, {AppLaunch{app, 42}, AppLaunch{app, 43}});
+  Gpu& gpu = sim.gpu();
+  gpu.set_partition(even_partition(cfg.num_sms, 2));
+  sim.set_watchdog(30'000);
+
+  FaultPlan plan;
+  plan.stall_partition = 0;
+  plan.stall_from_cycle = 1'000;
+  FaultInjector injector(plan);
+  gpu.set_fault_injector(&injector);
+
+  try {
+    // Every warp eventually has an outstanding request into the frozen
+    // partition; the whole machine wedges and the watchdog must notice.
+    sim.run(2'000'000);
+    FAIL() << "watchdog never fired on a frozen partition";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kWatchdogStall);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pipeline_state"), std::string::npos);
+    EXPECT_NE(what.find("SM 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("partition 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("stalled_for_cycles"), std::string::npos);
+  }
+  // The wedge happened long before the cycle budget ran out.
+  EXPECT_LT(gpu.now(), 500'000u);
+}
+
+TEST(SimGuardWatchdog, SilentOnHealthyRun) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  sim.set_watchdog(30'000);
+  EXPECT_NO_THROW(sim.run(150'000));
+}
+
+TEST(SimGuardWatchdog, IdleGpuIsNotADeadlock) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  Gpu& gpu = sim.gpu();
+  sim.run(20'000);
+  // Release every SM; resident warps drain (retiring instructions, which
+  // is progress), and then the GPU sits fully idle.  Neither phase may
+  // trip the watchdog.
+  gpu.set_partition(std::vector<AppId>(gpu.num_sms(), kInvalidApp));
+  sim.set_watchdog(10'000);
+  Cycle waited = 0;
+  while ((gpu.migration_in_progress() || !gpu.memory_system_quiescent()) &&
+         waited < 3'000'000) {
+    EXPECT_NO_THROW(sim.run(10'000));
+    waited += 10'000;
+  }
+  ASSERT_TRUE(gpu.memory_system_quiescent());
+  // Idle for many multiples of the threshold: still not a deadlock.
+  EXPECT_NO_THROW(sim.run(100'000));
+}
+
+TEST(SimGuardFaults, ProbabilisticDropsAreDeterministic) {
+  FaultPlan plan;
+  plan.drop_response_prob = 0.25;
+  plan.seed = 7;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 2'000; ++i) {
+    EXPECT_EQ(a.should_drop_response(), b.should_drop_response()) << i;
+  }
+  EXPECT_EQ(a.responses_dropped(), b.responses_dropped());
+  EXPECT_GT(a.responses_dropped(), 0u);
+}
+
+TEST(SimGuardFaults, EveryConfigCorruptionIsRejected) {
+  // corrupt_config flips exactly one field per seed; validate() must catch
+  // all of them before a Gpu can be built on garbage.
+  int rejected = 0;
+  for (u64 seed = 0; seed < 24; ++seed) {
+    GpuConfig cfg;
+    corrupt_config(cfg, seed);
+    try {
+      cfg.validate();
+      ADD_FAILURE() << "corruption seed " << seed << " passed validate()";
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 24);
+}
+
+TEST(SimGuardFaults, InactivePlanInjectsNothing) {
+  FaultPlan plan;  // all defaults: no faults
+  EXPECT_FALSE(plan.any());
+  FaultInjector injector(plan);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_FALSE(injector.should_drop_response());
+    EXPECT_FALSE(injector.should_drop_request());
+  }
+  EXPECT_FALSE(injector.partition_stalled(0, 1'000'000));
+}
+
+}  // namespace
+}  // namespace gpusim

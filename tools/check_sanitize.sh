@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Configure, build and run the whole test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer.  Used before merging anything that touches
+# queue/MSHR/crossbar plumbing; a clean pass means no leaks, no OOB, no UB
+# across all tier-1 tests.
+#
+#   tools/check_sanitize.sh [build-dir]        (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUSIM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error keeps CTest exit codes honest; detect_leaks catches any
+# sweep-checkpoint or audit bookkeeping that forgets to free.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure

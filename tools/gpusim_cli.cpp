@@ -6,16 +6,24 @@
 //   gpusim_cli --apps VA,CT,SD,SN --policy dase-fair --cycles 1000000
 //   gpusim_cli --apps AA,SD --policy qos --qos-target 1.5
 //   gpusim_cli --apps SB,VA --split 4,12 --models dase,mise,asm
+//   gpusim_cli --sweep all --checkpoint sweep.jsonl --out sweep.json
 //   gpusim_cli --list-apps
 //   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
+//
+// Exit codes: 0 success, 2 usage error, 3 simulation error (SimError).
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config_io.hpp"
+#include "common/sim_error.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "harness/table_printer.hpp"
 #include "kernels/app_registry.hpp"
 
@@ -27,6 +35,7 @@ using namespace gpusim;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
       << "usage: " << argv0 << " --apps A,B[,C,D] [options]\n"
+      << "       " << argv0 << " --sweep all|random:N [options]\n"
       << "\n"
       << "  --apps LIST       comma-separated Table III abbreviations\n"
       << "  --cycles N        co-run length in cycles (default 300000)\n"
@@ -42,6 +51,17 @@ using namespace gpusim;
       << "  --seed N          workload seed (default 42)\n"
       << "  --alone MODE      replay | cached (default replay)\n"
       << "  --config FILE     load a GpuConfig key=value file\n"
+      << "  --watchdog N      deadlock watchdog threshold in cycles "
+         "(0 disables; default 1000000)\n"
+      << "  --sweep WHICH     run a crash-safe two-app sweep: 'all' (105 "
+         "pairs) or 'random:N'\n"
+      << "  --checkpoint F    sweep JSONL checkpoint (resume from it if "
+         "present)\n"
+      << "  --out F           sweep final results JSON (default "
+         "sweep_results.json)\n"
+      << "  --retries N       sweep attempts per pair (default 3)\n"
+      << "  --backoff-ms N    sweep retry backoff in ms (default 0)\n"
+      << "  --fail-fast       abort the sweep on the first failed pair\n"
       << "  --dump-config     print the default config file and exit\n"
       << "  --list-apps       print the application registry and exit\n";
   std::exit(2);
@@ -57,6 +77,117 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+/// Strict unsigned parse: the whole token must be a decimal number no less
+/// than `min`.  "0x10", "12abc", "-3" and "" are all rejected with a
+/// message naming the flag.
+u64 parse_u64(const char* argv0, const std::string& flag,
+              const std::string& text, u64 min_value) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    usage(argv0, flag + " expects a non-negative integer, got '" + text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    usage(argv0, flag + " value out of range: '" + text + "'");
+  }
+  if (parsed < min_value) {
+    usage(argv0, flag + " must be at least " + std::to_string(min_value) +
+                     ", got " + text);
+  }
+  return static_cast<u64>(parsed);
+}
+
+double parse_positive_double(const char* argv0, const std::string& flag,
+                             const std::string& text) {
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || !(parsed > 0.0)) {
+    usage(argv0, flag + " expects a positive number, got '" + text + "'");
+  }
+  return parsed;
+}
+
+void print_result(const CoRunResult& result, const ModelSet& models) {
+  std::cout << "workload " << result.label << ", " << result.cycles
+            << " cycles\n\n";
+  std::vector<std::string> headers = {"app", "IPC_shared", "IPC_alone",
+                                      "actual"};
+  if (models.dase) headers.push_back("DASE");
+  if (models.mise) headers.push_back("MISE");
+  if (models.asm_model) headers.push_back("ASM");
+  TablePrinter table(headers);
+  table.print_header();
+  for (const AppResult& app : result.apps) {
+    std::cout.width(12);
+    std::cout << app.abbr;
+    std::cout.width(12);
+    std::cout << TablePrinter::num(app.ipc_shared, 3);
+    std::cout.width(12);
+    std::cout << TablePrinter::num(app.ipc_alone, 3);
+    std::cout.width(12);
+    std::cout << (app.actual_slowdown >= 1e5
+                      ? std::string("starved")
+                      : TablePrinter::num(app.actual_slowdown, 2));
+    for (const char* model : {"DASE", "MISE", "ASM"}) {
+      if (app.estimates.contains(model)) {
+        std::cout.width(12);
+        std::cout << TablePrinter::num(app.estimates.at(model), 2);
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nunfairness "
+            << (result.unfairness >= 1e5
+                    ? std::string(">1e5")
+                    : TablePrinter::num(result.unfairness, 2))
+            << ", harmonic speedup "
+            << TablePrinter::num(result.harmonic_speedup, 3)
+            << ", policy actions " << result.repartitions << '\n';
+  std::cout << "DRAM bandwidth:";
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    std::cout << ' ' << result.apps[i].abbr << '='
+              << TablePrinter::pct(result.app_bw_share[i]);
+  }
+  std::cout << " wasted=" << TablePrinter::pct(result.wasted_bw_share)
+            << " idle=" << TablePrinter::pct(result.idle_bw_share) << '\n';
+}
+
+int run_sweep(const std::string& which, const RunConfig& rc,
+              const ModelSet& models, const SweepOptions& opts,
+              const std::string& out_path, const char* argv0) {
+  std::vector<Workload> workloads;
+  if (which == "all") {
+    workloads = all_two_app_workloads();
+  } else if (which.rfind("random:", 0) == 0) {
+    const u64 count = parse_u64(argv0, "--sweep random:N", which.substr(7), 1);
+    workloads = random_two_app_workloads(static_cast<int>(count),
+                                         rc.base_seed);
+  } else {
+    usage(argv0, "--sweep expects 'all' or 'random:N', got '" + which + "'");
+  }
+
+  ExperimentRunner runner(rc);
+  SweepRunner sweep(opts, [&](const Workload& w) {
+    return runner.run(w, models);
+  });
+  const std::vector<SweepEntry> entries = sweep.run(workloads);
+  SweepRunner::write_results(out_path, entries);
+
+  int failed = 0;
+  for (const SweepEntry& e : entries) {
+    if (!e.ok) {
+      ++failed;
+      std::cerr << "failed pair " << e.label << " after " << e.attempts
+                << " attempts: " << e.error << '\n';
+    }
+  }
+  std::cout << "sweep: " << entries.size() << " pairs ("
+            << sweep.resumed() << " resumed from checkpoint, " << failed
+            << " failed), results in " << out_path << '\n';
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +200,9 @@ int main(int argc, char** argv) {
   ModelSet models{.dase = true};
   std::vector<int> split;
   bool have_split = false;
+  std::string sweep_which;
+  SweepOptions sweep_opts;
+  std::string sweep_out = "sweep_results.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,7 +213,7 @@ int main(int argc, char** argv) {
     if (arg == "--apps") {
       app_names = split_csv(next());
     } else if (arg == "--cycles") {
-      rc.co_run_cycles = std::strtoull(next().c_str(), nullptr, 10);
+      rc.co_run_cycles = parse_u64(argv[0], arg, next(), 1);
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "even") {
@@ -98,7 +232,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--split") {
       split.clear();
       for (const std::string& n : split_csv(next())) {
-        split.push_back(std::atoi(n.c_str()));
+        split.push_back(
+            static_cast<int>(parse_u64(argv[0], "--split entry", n, 1)));
       }
       have_split = true;
     } else if (arg == "--models") {
@@ -115,11 +250,27 @@ int main(int argc, char** argv) {
         }
       }
     } else if (arg == "--qos-target") {
-      rc.qos.target_slowdown = std::atof(next().c_str());
+      rc.qos.target_slowdown = parse_positive_double(argv[0], arg, next());
     } else if (arg == "--quantum") {
-      rc.temporal.quantum = std::strtoull(next().c_str(), nullptr, 10);
+      rc.temporal.quantum = parse_u64(argv[0], arg, next(), 1);
     } else if (arg == "--seed") {
-      rc.base_seed = std::strtoull(next().c_str(), nullptr, 10);
+      rc.base_seed = parse_u64(argv[0], arg, next(), 0);
+    } else if (arg == "--watchdog") {
+      rc.watchdog_cycles = parse_u64(argv[0], arg, next(), 0);
+    } else if (arg == "--sweep") {
+      sweep_which = next();
+    } else if (arg == "--checkpoint") {
+      sweep_opts.checkpoint_path = next();
+    } else if (arg == "--out") {
+      sweep_out = next();
+    } else if (arg == "--retries") {
+      sweep_opts.max_attempts =
+          static_cast<int>(parse_u64(argv[0], arg, next(), 1));
+    } else if (arg == "--backoff-ms") {
+      sweep_opts.backoff_ms =
+          static_cast<int>(parse_u64(argv[0], arg, next(), 0));
+    } else if (arg == "--fail-fast") {
+      sweep_opts.fail_fast = true;
     } else if (arg == "--alone") {
       const std::string m = next();
       if (m == "replay") {
@@ -157,66 +308,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (app_names.empty()) usage(argv[0], "--apps is required");
-  if (static_cast<int>(app_names.size()) > kMaxApps) {
-    usage(argv[0], "too many applications");
-  }
-  Workload workload;
-  for (const std::string& name : app_names) {
-    const auto app = find_app(name);
-    if (!app) usage(argv[0], "unknown application: " + name);
-    workload.apps.push_back(*app);
-  }
-  if (have_split && split.size() != workload.apps.size()) {
-    usage(argv[0], "--split must list one SM count per app");
-  }
+  try {
+    if (!sweep_which.empty()) {
+      if (!app_names.empty()) {
+        usage(argv[0], "--sweep and --apps are mutually exclusive");
+      }
+      // Sweeps use the cached alone IPC like the bench binaries do.
+      rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+      return run_sweep(sweep_which, rc, models, sweep_opts, sweep_out,
+                       argv[0]);
+    }
 
-  ExperimentRunner runner(rc);
-  const CoRunResult result = runner.run(workload, models, policy,
-                                        have_split ? &split : nullptr);
-
-  std::cout << "workload " << result.label << ", " << result.cycles
-            << " cycles\n\n";
-  std::vector<std::string> headers = {"app", "IPC_shared", "IPC_alone",
-                                      "actual"};
-  if (models.dase) headers.push_back("DASE");
-  if (models.mise) headers.push_back("MISE");
-  if (models.asm_model) headers.push_back("ASM");
-  TablePrinter table(headers);
-  table.print_header();
-  for (const AppResult& app : result.apps) {
-    std::ostringstream row;
-    std::cout.width(12);
-    std::cout << app.abbr;
-    std::cout.width(12);
-    std::cout << TablePrinter::num(app.ipc_shared, 3);
-    std::cout.width(12);
-    std::cout << TablePrinter::num(app.ipc_alone, 3);
-    std::cout.width(12);
-    std::cout << (app.actual_slowdown >= 1e5
-                      ? std::string("starved")
-                      : TablePrinter::num(app.actual_slowdown, 2));
-    for (const char* model : {"DASE", "MISE", "ASM"}) {
-      if (app.estimates.contains(model)) {
-        std::cout.width(12);
-        std::cout << TablePrinter::num(app.estimates.at(model), 2);
+    if (app_names.empty()) usage(argv[0], "--apps is required");
+    if (static_cast<int>(app_names.size()) > kMaxApps) {
+      usage(argv[0], "too many applications");
+    }
+    Workload workload;
+    for (const std::string& name : app_names) {
+      const auto app = find_app(name);
+      if (!app) usage(argv[0], "unknown application: " + name);
+      workload.apps.push_back(*app);
+    }
+    if (have_split) {
+      if (split.size() != workload.apps.size()) {
+        usage(argv[0], "--split must list one SM count per app");
+      }
+      const int total = std::accumulate(split.begin(), split.end(), 0);
+      if (total != rc.gpu.num_sms) {
+        usage(argv[0], "--split SM counts must sum to num_sms (" +
+                           std::to_string(rc.gpu.num_sms) + "), got " +
+                           std::to_string(total));
       }
     }
-    std::cout << '\n';
+
+    ExperimentRunner runner(rc);
+    const CoRunResult result = runner.run(workload, models, policy,
+                                          have_split ? &split : nullptr);
+    print_result(result, models);
+    return 0;
+  } catch (const SimError& e) {
+    std::cerr << "simulation error [" << to_string(e.kind()) << "] in "
+              << e.component() << ":\n" << e.what() << '\n';
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
-  std::cout << "\nunfairness "
-            << (result.unfairness >= 1e5
-                    ? std::string(">1e5")
-                    : TablePrinter::num(result.unfairness, 2))
-            << ", harmonic speedup "
-            << TablePrinter::num(result.harmonic_speedup, 3)
-            << ", policy actions " << result.repartitions << '\n';
-  std::cout << "DRAM bandwidth:";
-  for (std::size_t i = 0; i < result.apps.size(); ++i) {
-    std::cout << ' ' << result.apps[i].abbr << '='
-              << TablePrinter::pct(result.app_bw_share[i]);
-  }
-  std::cout << " wasted=" << TablePrinter::pct(result.wasted_bw_share)
-            << " idle=" << TablePrinter::pct(result.idle_bw_share) << '\n';
-  return 0;
 }
