@@ -1,83 +1,158 @@
-// Simulator micro-benchmarks (google-benchmark): cycles/second of the full
-// GPU model and of the hot substrate components.  Not a paper figure —
-// this tracks the cost of running the reproduction itself.
-#include <benchmark/benchmark.h>
+// Simulator-throughput baseline: measures raw cycles/sec of the
+// cycle loop (fast-forward on and off) and the wall-clock of a small
+// checkpoint-free sweep run serially vs. on the worker pool, then emits
+// the numbers as a flat JSON object — the repo's BENCH_*.json perf
+// baseline format.  tools/check_perf.sh runs this binary and fails on a
+// >15% cycles/sec regression against the committed BENCH_throughput.json.
+//
+//   bench_sim_throughput [output.json]
+//
+// Environment:
+//   BENCH_CYCLES        co-run cycles per timing run   (default 400000)
+//   BENCH_SWEEP_PAIRS   pairs in the sweep timing      (default 4)
+//   BENCH_SWEEP_CYCLES  co-run cycles per sweep pair   (default 60000)
+//   BENCH_JOBS          parallel sweep workers         (default hw threads)
+//
+// Keys are written one per line so shell tooling can read them without a
+// JSON parser.  Timings are wall-clock and machine-dependent by nature;
+// refresh the committed baseline with `tools/check_perf.sh --update`
+// when switching measurement hosts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "cache/cache.hpp"
-#include "common/rng.hpp"
+#include "bench_util.hpp"
 #include "gpu/simulator.hpp"
+#include "harness/sweep.hpp"
 #include "kernels/app_registry.hpp"
-#include "mem/dram.hpp"
+#include "kernels/workload_sets.hpp"
 
 namespace {
 
 using namespace gpusim;
 
-void BM_FullGpuCycle(benchmark::State& state) {
-  GpuConfig cfg;
-  Simulation sim(cfg, {AppLaunch{*find_app("VA"), 42},
-                       AppLaunch{*find_app("SD"), 43}});
-  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
-  sim.run(20'000);  // warm up
-  for (auto _ : state) {
-    sim.run(1'000);
-  }
-  state.SetItemsProcessed(state.iterations() * 1'000);
-  state.counters["cycles/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * 1'000),
-      benchmark::Counter::kIsRate);
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
-BENCHMARK(BM_FullGpuCycle)->Unit(benchmark::kMillisecond);
 
-void BM_MemoryControllerSaturated(benchmark::State& state) {
-  GpuConfig cfg;
-  MemoryController mc(cfg, 2);
-  Rng rng(7);
-  std::vector<DramCmd> done;
-  Cycle now = 0;
-  for (auto _ : state) {
-    for (int i = 0; i < 1'000; ++i, ++now) {
-      while (!mc.queue_full()) {
-        DramCmd c;
-        c.app = static_cast<AppId>(rng.next_below(2));
-        c.bank = static_cast<int>(rng.next_below(16));
-        c.row = rng.next_below(1 << 16);
-        c.enqueued = now;
-        mc.try_enqueue(c);
-      }
-      done.clear();
-      mc.cycle(now, done);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * 1'000);
-}
-BENCHMARK(BM_MemoryControllerSaturated)->Unit(benchmark::kMicrosecond);
+struct LoopResult {
+  double cycles_per_sec = 0.0;
+  double fast_forwarded_fraction = 0.0;
+};
 
-void BM_CacheAccess(benchmark::State& state) {
-  GpuConfig cfg;
-  SetAssocCache cache(cfg.l2_num_sets(), cfg.l2_assoc, cfg.line_bytes);
-  Rng rng(9);
-  const u64 lines = static_cast<u64>(cfg.l2_num_sets()) * cfg.l2_assoc * 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cache.access(rng.next_below(lines) * cfg.line_bytes, 0));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CacheAccess);
+/// Cycles/sec of a two-app co-run over `cycles` cycles (after a short
+/// warmup), with the idle-cycle fast-forward on or off.
+LoopResult time_cycle_loop(const GpuConfig& cfg, Cycle cycles,
+                           bool fast_forward) {
+  Simulation sim(cfg, {AppLaunch{*find_app("VA"), 1001},
+                       AppLaunch{*find_app("SD"), 1002}});
+  sim.set_fast_forward(fast_forward);
+  sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), 2));
 
-void BM_AloneRunVA(benchmark::State& state) {
-  GpuConfig cfg;
-  for (auto _ : state) {
-    Simulation sim(cfg, {AppLaunch{*find_app("VA"), 42}});
-    sim.gpu().set_partition(even_partition(cfg.num_sms, 1));
-    sim.run(10'000);
-    benchmark::DoNotOptimize(sim.gpu().instructions().total(0));
-  }
-  state.SetItemsProcessed(state.iterations() * 10'000);
+  sim.run(20'000);  // warm the pipeline so timing sees steady state
+  const u64 ff_before = sim.gpu().fast_forwarded_cycles();
+  const auto start = std::chrono::steady_clock::now();
+  sim.run(cycles);
+  const double elapsed = seconds_since(start);
+
+  LoopResult r;
+  r.cycles_per_sec =
+      elapsed > 0.0 ? static_cast<double>(cycles) / elapsed : 0.0;
+  r.fast_forwarded_fraction =
+      static_cast<double>(sim.gpu().fast_forwarded_cycles() - ff_before) /
+      static_cast<double>(cycles);
+  return r;
 }
-BENCHMARK(BM_AloneRunVA)->Unit(benchmark::kMillisecond);
+
+/// Wall-clock of a checkpoint-free sweep over the first `pairs` two-app
+/// workloads with the given worker count.
+double time_sweep(const RunConfig& rc, int pairs, int jobs) {
+  std::vector<Workload> workloads = all_two_app_workloads();
+  workloads.resize(static_cast<std::size_t>(pairs));
+
+  SweepOptions opts;
+  opts.max_attempts = 1;
+  opts.jobs = jobs;
+  const ModelSet models{.dase = true};
+  SweepRunner sweep(opts, SweepRunner::RunFnFactory([&rc, &models]() {
+                      auto runner = std::make_shared<ExperimentRunner>(rc);
+                      return [runner, &models](const Workload& w) {
+                        return runner->run(w, models);
+                      };
+                    }));
+
+  const auto start = std::chrono::steady_clock::now();
+  sweep.run(workloads);
+  return seconds_since(start);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace gpusim::bench;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  const Cycle loop_cycles = cycles_from_env("BENCH_CYCLES", 400'000);
+  const int sweep_pairs =
+      static_cast<int>(cycles_from_env("BENCH_SWEEP_PAIRS", 4));
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const int sweep_jobs =
+      static_cast<int>(cycles_from_env("BENCH_JOBS", static_cast<Cycle>(hw)));
+
+  banner("Simulator throughput baseline",
+         "cycle-loop cycles/sec + sweep wall-time (BENCH_throughput.json)");
+
+  GpuConfig cfg;
+  const LoopResult fast = time_cycle_loop(cfg, loop_cycles, true);
+  const LoopResult slow = time_cycle_loop(cfg, loop_cycles, false);
+
+  RunConfig rc;
+  rc.co_run_cycles = cycles_from_env("BENCH_SWEEP_CYCLES", 60'000);
+  rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+  const double serial_s = time_sweep(rc, sweep_pairs, 1);
+  const double parallel_s = time_sweep(rc, sweep_pairs, sweep_jobs);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "\"schema\": \"gpusim-bench-throughput-v1\",\n");
+  std::fprintf(out, "\"host_hw_threads\": %d,\n", hw);
+  std::fprintf(out, "\"loop_cycles\": %llu,\n",
+               static_cast<unsigned long long>(loop_cycles));
+  std::fprintf(out, "\"sim_cycles_per_sec_fast_forward\": %.1f,\n",
+               fast.cycles_per_sec);
+  std::fprintf(out, "\"sim_cycles_per_sec_no_fast_forward\": %.1f,\n",
+               slow.cycles_per_sec);
+  std::fprintf(out, "\"fast_forwarded_fraction\": %.4f,\n",
+               fast.fast_forwarded_fraction);
+  std::fprintf(out, "\"sweep_pairs\": %d,\n", sweep_pairs);
+  std::fprintf(out, "\"sweep_corun_cycles\": %llu,\n",
+               static_cast<unsigned long long>(rc.co_run_cycles));
+  std::fprintf(out, "\"sweep_jobs\": %d,\n", sweep_jobs);
+  std::fprintf(out, "\"sweep_serial_seconds\": %.3f,\n", serial_s);
+  std::fprintf(out, "\"sweep_parallel_seconds\": %.3f,\n", parallel_s);
+  std::fprintf(out, "\"sweep_parallel_speedup\": %.3f\n",
+               parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf(
+      "cycles/sec: %.0f (fast-forward on, %.1f%% skipped), %.0f (off)\n",
+      fast.cycles_per_sec, 100.0 * fast.fast_forwarded_fraction,
+      slow.cycles_per_sec);
+  std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
+              sweep_pairs, serial_s, parallel_s, sweep_jobs,
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::printf("baseline written: %s\n", out_path.c_str());
+  return 0;
+}

@@ -4,10 +4,16 @@
 // retried with backoff, and re-running after an interruption resumes from
 // the checkpoint and produces a byte-identical results file.
 //
+// Pairs run concurrently on a worker pool (REPRO_JOBS, default one per
+// hardware thread); the results file is byte-identical for any job count.
+//
 //   sweep_two_app [checkpoint.jsonl [results.json]]
 //
-// Environment: REPRO_CORUN_CYCLES / REPRO_PAIR_LIMIT / REPRO_WATCHDOG as
-// in the other bench binaries.
+// Environment: REPRO_CORUN_CYCLES / REPRO_PAIR_LIMIT / REPRO_WATCHDOG /
+// REPRO_JOBS as in the other bench binaries.
+#include <atomic>
+#include <memory>
+
 #include "bench_util.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/workload_sets.hpp"
@@ -29,21 +35,27 @@ int main(int argc, char** argv) {
     workloads.resize(limit);
   }
 
-  ExperimentRunner runner(default_run_config());
+  const RunConfig rc = default_run_config();
   const ModelSet models{.dase = true, .mise = true, .asm_model = true};
 
   SweepOptions opts;
   opts.checkpoint_path = checkpoint;
   opts.max_attempts = 3;
   opts.backoff_ms = 100;
+  opts.jobs = static_cast<int>(cycles_from_env("REPRO_JOBS", 0));
 
-  int done = 0;
-  SweepRunner sweep(opts, [&](const Workload& w) {
-    std::printf("[%3d/%3zu] %s\n", ++done, workloads.size(),
-                w.label().c_str());
-    std::fflush(stdout);
-    return runner.run(w, models);
-  });
+  std::atomic<int> done{0};
+  const std::size_t total = workloads.size();
+  SweepRunner sweep(
+      opts, SweepRunner::RunFnFactory([&rc, &models, &done, total]() {
+        auto runner = std::make_shared<ExperimentRunner>(rc);
+        return [runner, &models, &done, total](const Workload& w) {
+          std::printf("[%3d/%3zu] %s\n", done.fetch_add(1) + 1, total,
+                      w.label().c_str());
+          std::fflush(stdout);
+          return runner->run(w, models);
+        };
+      }));
 
   const std::vector<SweepEntry> entries = sweep.run(workloads);
   SweepRunner::write_results(out, entries);

@@ -178,6 +178,42 @@ void Gpu::run(Cycle cycles) {
   for (Cycle c = 0; c < cycles; ++c) cycle();
 }
 
+Cycle Gpu::dead_cycles_until(Cycle max_skip) const {
+  // A fault injector hooks individual cycles (stall windows, nth-event
+  // drops), and a pending migration re-polls drained() every cycle — both
+  // need the full per-cycle path.
+  if (max_skip == 0 || injector_ != nullptr || migration_pending_) return 0;
+
+  Cycle next = now_ + max_skip;
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    if (!sms_[s]->quiet_at(now_)) return 0;
+    const auto& rq = resp_net_.dest_queue(s);
+    if (!rq.empty()) {
+      if (rq.front().ready <= now_) return 0;
+      next = std::min(next, rq.front().ready);
+    }
+    next = std::min(next, sms_[s]->next_local_event());
+  }
+  for (int p = 0; p < cfg_.num_partitions; ++p) {
+    const auto& inq = req_net_.dest_queue(p);
+    if (!partitions_[p]->quiet_at(now_, inq)) return 0;
+    next = std::min(next, partitions_[p]->next_event_after(now_, inq));
+  }
+  // Quietness guarantees every head-of-line timestamp above is > now_.
+  return next - now_;
+}
+
+void Gpu::skip_dead_cycles(Cycle n) {
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    sms_[s]->skip_cycles(n);
+    const AppId app = sms_[s]->app();
+    if (app != kInvalidApp) sm_cycles_.add(app, n);
+  }
+  for (auto& p : partitions_) p->mc().skip_cycles(now_, n);
+  now_ += n;
+  fast_forwarded_ += n;
+}
+
 IntervalSample Gpu::end_interval() {
   IntervalSample sample;
   sample.start = last_interval_end_;

@@ -63,6 +63,25 @@ class Gpu {
   void cycle();
   void run(Cycle cycles);
 
+  /// Idle-cycle fast-forward probe: returns how many cycles starting at
+  /// now() are provably *dead* — cycle() would change nothing except the
+  /// per-cycle counter accruals — capped at `max_skip`.  Returns 0 when the
+  /// current cycle may do real work (or when a fault injector is attached /
+  /// a migration is pending, where per-cycle hooks must run).  The bound is
+  /// the earliest head-of-line event time across every SM, crossbar
+  /// delivery queue and memory partition; nothing in flight can act before
+  /// its queue front does.
+  Cycle dead_cycles_until(Cycle max_skip) const;
+
+  /// Applies `n` dead cycles in one jump: advances now() and adds the exact
+  /// counter accruals cycle() would have performed `n` times.  Caller must
+  /// have obtained `n` from dead_cycles_until().
+  void skip_dead_cycles(Cycle n);
+
+  /// Total cycles elapsed via skip_dead_cycles() (observability for tests
+  /// and benchmarks; not part of simulated state).
+  u64 fast_forwarded_cycles() const { return fast_forwarded_; }
+
   /// Aggregates all counters accumulated since the previous call into an
   /// IntervalSample and snapshots the counters.
   IntervalSample end_interval();
@@ -121,6 +140,7 @@ class Gpu {
   bool migration_pending_ = false;
 
   Cycle now_ = 0;
+  u64 fast_forwarded_ = 0;
   Cycle last_interval_end_ = 0;
   PerAppCounter instructions_;
   PerAppCounter sm_cycles_;

@@ -49,6 +49,15 @@ class Simulation {
   void set_watchdog(Cycle stall_cycles) { watchdog_cycles_ = stall_cycles; }
   Cycle watchdog_cycles() const { return watchdog_cycles_; }
 
+  /// Enables/disables the idle-cycle fast-forward (on by default).  The
+  /// fast-forward is an invariant-preserving optimization: simulated
+  /// output — interval samples, counters, watchdog firing cycles — is
+  /// byte-identical either way; only wall-clock changes.  The off switch
+  /// exists for the determinism tests and for bisecting suspected
+  /// fast-forward bugs.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
   /// Runs for `cycles`, firing interval boundaries as they pass.  Throws
   /// SimError(kWatchdogStall) with a full pipeline-state dump when the
   /// watchdog detects a deadlock/livelock.
@@ -75,6 +84,7 @@ class Simulation {
   Cycle watchdog_cycles_ = kDefaultWatchdogCycles;
   Cycle last_progress_cycle_ = 0;
   u64 last_progress_sig_ = 0;
+  bool fast_forward_ = true;
 };
 
 }  // namespace gpusim

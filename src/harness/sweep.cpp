@@ -1,10 +1,13 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -111,11 +114,49 @@ std::string checkpoint_line(const SweepEntry& entry) {
 }  // namespace
 
 SweepRunner::SweepRunner(SweepOptions opts, RunFn run_fn)
-    : opts_(std::move(opts)), run_fn_(std::move(run_fn)) {
+    : SweepRunner(std::move(opts),
+                  RunFnFactory([fn = std::move(run_fn)]() { return fn; })) {}
+
+SweepRunner::SweepRunner(SweepOptions opts, RunFnFactory factory)
+    : opts_(std::move(opts)), factory_(std::move(factory)) {
   SIM_CHECK(opts_.max_attempts >= 1,
             SimError(SimErrorKind::kHarness, "harness.sweep",
                      "max_attempts must be at least 1")
                 .detail("max_attempts", opts_.max_attempts));
+  SIM_CHECK(opts_.jobs >= 0,
+            SimError(SimErrorKind::kHarness, "harness.sweep",
+                     "jobs must be 0 (= hardware concurrency) or positive")
+                .detail("jobs", opts_.jobs));
+}
+
+int SweepRunner::effective_jobs(std::size_t n_pending) const {
+  int jobs = opts_.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), n_pending));
+}
+
+SweepEntry SweepRunner::run_one(const RunFn& fn, const Workload& workload) {
+  SweepEntry entry;
+  entry.label = workload.label();
+  for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    entry.attempts = attempt;
+    try {
+      const CoRunResult result = fn(workload);
+      entry.ok = true;
+      entry.result_json = to_json(result);
+      break;
+    } catch (const std::exception& e) {
+      entry.error = e.what();
+      if (attempt < opts_.max_attempts && opts_.backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts_.backoff_ms * attempt));
+      }
+    }
+  }
+  return entry;
 }
 
 std::string SweepRunner::to_json(const CoRunResult& r) {
@@ -183,53 +224,105 @@ std::vector<SweepEntry> SweepRunner::run(
     if (seal_torn_tail) checkpoint << "\n";
   }
 
-  std::vector<SweepEntry> entries;
-  entries.reserve(workloads.size());
-  for (const Workload& workload : workloads) {
-    SweepEntry entry;
-    entry.label = workload.label();
-
+  // Replay checkpointed pairs and collect the still-pending workload
+  // indices.  Entries live in one pre-sized vector indexed by workload
+  // position: workers write disjoint slots, and the final assembly is in
+  // workload order regardless of completion order — this is what makes
+  // write_results() byte-identical for every jobs value.
+  std::vector<SweepEntry> entries(workloads.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    SweepEntry& entry = entries[i];
+    entry.label = workloads[i].label();
     const auto it = done.find(entry.label);
     if (it != done.end() && it->second.ok) {
       entry.ok = true;
       entry.from_checkpoint = true;
       entry.result_json = it->second.result_json;
       ++resumed_;
-      entries.push_back(std::move(entry));
-      continue;
+    } else {
+      pending.push_back(i);
     }
+  }
 
-    for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
-      entry.attempts = attempt;
-      ++attempts_spent_;
-      try {
-        const CoRunResult result = run_fn_(workload);
-        entry.ok = true;
-        entry.result_json = to_json(result);
-        break;
-      } catch (const std::exception& e) {
-        entry.error = e.what();
-        if (attempt < opts_.max_attempts && opts_.backoff_ms > 0) {
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(opts_.backoff_ms * attempt));
-        }
+  const int jobs = effective_jobs(pending.size());
+  std::mutex checkpoint_mu;  // guards `checkpoint` appends
+  auto commit = [&](const SweepEntry& entry) {
+    if (!checkpoint.is_open()) return;
+    // One complete line per finished pair, flushed before the worker picks
+    // up its next pair, so a crash at any point loses at most the pairs in
+    // progress.  The mutex spans format + write: lines never interleave.
+    const std::string line = checkpoint_line(entry);
+    std::lock_guard<std::mutex> lock(checkpoint_mu);
+    checkpoint << line << "\n";
+    checkpoint.flush();
+  };
+
+  if (jobs <= 1) {
+    // Legacy serial path: no threads, failures abort at the failing pair.
+    RunFn fn = factory_();
+    for (const std::size_t i : pending) {
+      SweepEntry entry = run_one(fn, workloads[i]);
+      attempts_spent_ += entry.attempts;
+      commit(entry);
+      if (!entry.ok && opts_.fail_fast) {
+        SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",
+                          "workload pair failed and fail_fast is set")
+                     .detail("workload", entry.label)
+                     .detail("attempts", entry.attempts)
+                     .detail("last_error", entry.error));
       }
+      entries[i] = std::move(entry);
     }
+    return entries;
+  }
 
-    if (checkpoint.is_open()) {
-      // One line per finished pair, flushed before the next pair starts, so
-      // a crash at any point loses at most the pair in progress.
-      checkpoint << checkpoint_line(entry) << "\n";
-      checkpoint.flush();
+  // Parallel path: workers claim pending indices from an atomic cursor.
+  // Under fail_fast a failure raises `abort`; in-progress pairs finish
+  // (and checkpoint) but no new pair starts, then the lowest-index failure
+  // is rethrown after the join so the error is deterministic.
+  std::vector<RunFn> fns;
+  fns.reserve(jobs);
+  for (int w = 0; w < jobs; ++w) fns.push_back(factory_());
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<int> attempts_total{0};
+  std::atomic<bool> abort{false};
+  std::mutex failure_mu;
+  std::size_t first_failed = workloads.size();  // min failed workload index
+
+  auto worker = [&](int w) {
+    const RunFn& fn = fns[w];
+    while (true) {
+      if (opts_.fail_fast && abort.load(std::memory_order_relaxed)) break;
+      const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) break;
+      const std::size_t i = pending[k];
+      SweepEntry entry = run_one(fn, workloads[i]);
+      attempts_total.fetch_add(entry.attempts, std::memory_order_relaxed);
+      commit(entry);
+      if (!entry.ok && opts_.fail_fast) {
+        std::lock_guard<std::mutex> lock(failure_mu);
+        first_failed = std::min(first_failed, i);
+        abort.store(true, std::memory_order_relaxed);
+      }
+      entries[i] = std::move(entry);
     }
-    if (!entry.ok && opts_.fail_fast) {
-      SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",
-                        "workload pair failed and fail_fast is set")
-                   .detail("workload", entry.label)
-                   .detail("attempts", entry.attempts)
-                   .detail("last_error", entry.error));
-    }
-    entries.push_back(std::move(entry));
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (int w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+  attempts_spent_ += attempts_total.load();
+
+  if (opts_.fail_fast && first_failed < workloads.size()) {
+    const SweepEntry& entry = entries[first_failed];
+    SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",
+                      "workload pair failed and fail_fast is set")
+                 .detail("workload", entry.label)
+                 .detail("attempts", entry.attempts)
+                 .detail("last_error", entry.error));
   }
   return entries;
 }

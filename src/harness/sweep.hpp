@@ -1,4 +1,4 @@
-// SimGuard crash-safe sweep runner.
+// SimGuard crash-safe sweep runner, parallel since PR 2.
 //
 // The paper's headline experiments iterate all 105 two-application
 // workload pairs for millions of cycles each; a crash (or an injected
@@ -14,6 +14,19 @@
 // `max_attempts` times with linear backoff; a pair that keeps failing is
 // recorded with its error and the sweep moves on (or aborts immediately
 // under `fail_fast`).
+//
+// Parallelism model (`SweepOptions::jobs`): pairs share no simulator
+// state, so a worker pool claims pending workload indices from an atomic
+// cursor and runs them concurrently, each worker on its own RunFn (see
+// RunFnFactory).  Determinism is preserved by construction:
+//   - each pair's result depends only on the workload, never on which
+//     thread ran it or when;
+//   - finished pairs append to the checkpoint under a mutex, one complete
+//     line per pair — line *order* varies across runs, but resume loads
+//     the checkpoint into a label-keyed map, so order never matters;
+//   - the final entry vector is assembled by workload index after all
+//     workers join, making write_results() byte-identical for every jobs
+//     value, interrupted or not.
 #pragma once
 
 #include <functional>
@@ -36,6 +49,11 @@ struct SweepOptions {
   /// Abort the sweep (rethrow as SimError(kHarness)) on the first pair that
   /// exhausts its attempts, instead of recording the failure and moving on.
   bool fail_fast = false;
+  /// Worker threads running pairs concurrently.  1 (the default) is the
+  /// legacy serial path — no threads are spawned at all; 0 means one
+  /// worker per hardware thread.  Results are byte-identical for every
+  /// value.
+  int jobs = 1;
 };
 
 /// Outcome of one workload pair within a sweep.
@@ -60,7 +78,17 @@ class SweepRunner {
   /// or failing runners here; production code wraps ExperimentRunner::run.
   using RunFn = std::function<CoRunResult(const Workload&)>;
 
+  /// Creates one independent RunFn per worker thread.  ExperimentRunner
+  /// mutates internal state (the alone-IPC cache), so workers must not
+  /// share one instance; the factory is invoked once per worker, on the
+  /// main thread, before any worker starts.
+  using RunFnFactory = std::function<RunFn()>;
+
+  /// Single shared RunFn.  With jobs > 1 the same callable is invoked from
+  /// several threads at once — only safe for stateless/thread-safe
+  /// runners (tests); production sweeps use the factory overload.
   SweepRunner(SweepOptions opts, RunFn run_fn);
+  SweepRunner(SweepOptions opts, RunFnFactory factory);
 
   /// Runs every workload (resuming from the checkpoint when one exists)
   /// and returns one entry per workload, in workload order.
@@ -83,9 +111,16 @@ class SweepRunner {
   /// with %.17g so they round-trip bit-exactly).
   static std::string to_json(const CoRunResult& result);
 
+  /// Effective worker count for `n_pending` runnable pairs: resolves
+  /// jobs == 0 to std::thread::hardware_concurrency() and never exceeds
+  /// the number of pairs.  Exposed for tests and CLI diagnostics.
+  int effective_jobs(std::size_t n_pending) const;
+
  private:
+  SweepEntry run_one(const RunFn& fn, const Workload& workload);
+
   SweepOptions opts_;
-  RunFn run_fn_;
+  RunFnFactory factory_;
   int resumed_ = 0;
   int attempts_spent_ = 0;
 };

@@ -8,6 +8,12 @@ MemoryController::MemoryController(const GpuConfig& cfg, int num_apps)
     : cfg_(cfg),
       num_apps_(num_apps),
       queue_capacity_(cfg.dram_queue_capacity),
+      t_rp_(cfg.t_rp()),
+      t_rcd_(cfg.t_rcd()),
+      t_cl_(cfg.t_cl()),
+      t_burst_(cfg.t_burst()),
+      t_bus_gap_(cfg.t_bus_gap()),
+      t_miss_bubble_(cfg.t_miss_bubble()),
       banks_(cfg.banks_per_mc),
       queued_per_bank_app_(cfg.banks_per_mc),
       exec_per_bank_app_(cfg.banks_per_mc) {
@@ -20,9 +26,8 @@ MemoryController::MemoryController(const GpuConfig& cfg, int num_apps)
             SimError(SimErrorKind::kConfig, "mem.dram",
                      "banks_per_mc exceeds 32-bit bank bitmask width")
                 .detail("banks_per_mc", cfg.banks_per_mc));
-  last_row_.assign(num_apps_, std::vector<u64>(cfg_.banks_per_mc, 0));
-  last_row_valid_.assign(num_apps_,
-                         std::vector<bool>(cfg_.banks_per_mc, false));
+  last_row_.assign(static_cast<std::size_t>(num_apps_) * cfg_.banks_per_mc,
+                   0);
 }
 
 bool MemoryController::try_enqueue(const DramCmd& cmd) {
@@ -81,7 +86,7 @@ void MemoryController::grant_bus(Cycle now) {
   // pipelines under the in-progress transfer).  Congested traffic keeps
   // waiting in the FR-FCFS queue, where it stays reorderable, instead of
   // piling up in a deep FIFO reservation.
-  if (bus_free_at_ > now + cfg_.t_cl() || bus_ready_.empty()) return;
+  if (bus_free_at_ > now + t_cl_ || bus_ready_.empty()) return;
 
   // Note: a MISE/ASM priority epoch grants priority at *issue* (the
   // memory-controller decision the CPU models describe); data already
@@ -92,14 +97,13 @@ void MemoryController::grant_bus(Cycle now) {
   bus_ready_.pop_front();
 
   const Cycle lead_start = std::max(bus_free_at_, now);
-  const Cycle data_start = std::max(bus_free_at_, now + cfg_.t_cl());
+  const Cycle data_start = std::max(bus_free_at_, now + t_cl_);
   // A transfer out of a freshly activated row pays an extra bus bubble, so
   // useful bandwidth at saturation degrades with the row-miss ratio.
-  const Cycle overhead =
-      cfg_.t_bus_gap() + (f.row_hit ? 0 : cfg_.t_miss_bubble());
-  bus_free_at_ = data_start + cfg_.t_burst() + overhead;
-  f.complete_at = data_start + cfg_.t_burst();
-  counters_.bus_data_cycles.add(f.cmd.app, cfg_.t_burst());
+  const Cycle overhead = t_bus_gap_ + (f.row_hit ? 0 : t_miss_bubble_);
+  bus_free_at_ = data_start + t_burst_ + overhead;
+  f.complete_at = data_start + t_burst_;
+  counters_.bus_data_cycles.add(f.cmd.app, t_burst_);
   // The column-access lead-in (when starting from an idle bus), the
   // post-burst turnaround gap and miss bubbles are timing overhead:
   // Fig. 2b's "wasted" BW.
@@ -112,6 +116,7 @@ void MemoryController::finish_preps(Cycle now) {
     Bank& bank = banks_[b];
     if (!bank.preparing || bank.prep_done > now) continue;
     bank.preparing = false;
+    --preparing_count_;
     bank.row_open = true;
     bank.open_row = bank.pending.row;
     bus_ready_.push_back(
@@ -127,7 +132,7 @@ void MemoryController::issue_one(Cycle now) {
   // bank is free starts its activation.  An optional priority application
   // (MISE/ASM epochs) restricts the candidate set to its requests whenever
   // it has any queued.
-  if (static_cast<int>(bus_ready_.size()) + preparing_banks() >=
+  if (static_cast<int>(bus_ready_.size()) + preparing_count_ >=
       kMaxCommitted) {
     return;  // committed pipeline full; keep requests reorderable
   }
@@ -175,39 +180,40 @@ void MemoryController::issue_one(Cycle now) {
     counters_.row_misses.add(cmd.app);
     // Eq. 10 extra-row-buffer-miss detection: this application re-activates
     // the same row it touched last in this bank — a co-runner closed it.
-    if (last_row_valid_[cmd.app][cmd.bank] &&
-        last_row_[cmd.app][cmd.bank] == cmd.row) {
+    const std::size_t lr =
+        static_cast<std::size_t>(cmd.app) * cfg_.banks_per_mc + cmd.bank;
+    if ((last_row_valid_[cmd.app] >> cmd.bank & 1u) != 0 &&
+        last_row_[lr] == cmd.row) {
       counters_.erb_miss.add(cmd.app);
     }
     bank.preparing = true;
+    ++preparing_count_;
     bank.pending = cmd;
     bank.prep_issue_start = now;
-    bank.prep_done =
-        now + (bank.row_open ? cfg_.t_rp() : 0) + cfg_.t_rcd();
+    bank.prep_done = now + (bank.row_open ? t_rp_ : 0) + t_rcd_;
     bank.row_open = false;
   }
-  last_row_[cmd.app][cmd.bank] = cmd.row;
-  last_row_valid_[cmd.app][cmd.bank] = true;
+  last_row_[static_cast<std::size_t>(cmd.app) * cfg_.banks_per_mc +
+            cmd.bank] = cmd.row;
+  last_row_valid_[cmd.app] |= 1u << cmd.bank;
 }
 
-void MemoryController::account_cycle(Cycle now) {
+void MemoryController::account_cycle(Cycle now) { skip_cycles(now, 1); }
+
+void MemoryController::skip_cycles(Cycle now, Cycle n) {
   // Bandwidth decomposition: data and turnaround-gap cycles are attributed
   // in lump sums at bus-grant time; classify only bus-idle cycles here.
+  // Every per-cycle accrual below is a pure function of state that is
+  // frozen while the controller is quiet, so `n` cycles fold into one lump.
+  // The `bus_free_at_ <= now` test is uniform across the lump because
+  // next_event_after() never lets a skip run past bus_free_at_.
   if (bus_free_at_ <= now) {
-    bool any_work =
-        !queue_.empty() || !inflight_.empty() || !bus_ready_.empty();
-    if (!any_work) {
-      for (const Bank& bank : banks_) {
-        if (bank.preparing) {
-          any_work = true;
-          break;
-        }
-      }
-    }
+    const bool any_work = !queue_.empty() || !inflight_.empty() ||
+                          !bus_ready_.empty() || preparing_count_ > 0;
     if (any_work) {
-      counters_.wasted_cycles.add();
+      counters_.wasted_cycles.add(n);
     } else {
-      counters_.idle_cycles.add();
+      counters_.idle_cycles.add(n);
     }
   }
 
@@ -215,16 +221,16 @@ void MemoryController::account_cycle(Cycle now) {
   // priority-cycle clock.
   for (AppId a = 0; a < num_apps_; ++a) {
     if (outstanding_[a] > 0) {
-      counters_.blp_time.add(a);
+      counters_.blp_time.add(a, n);
       counters_.blp_occupancy_int.add(
-          a, std::popcount(queued_mask_[a] | exec_mask_[a]));
-      counters_.blp_access_int.add(a, std::popcount(exec_mask_[a]));
+          a, n * std::popcount(queued_mask_[a] | exec_mask_[a]));
+      counters_.blp_access_int.add(a, n * std::popcount(exec_mask_[a]));
     }
   }
   if (priority_app_ != kInvalidApp) {
-    counters_.priority_cycles.add(priority_app_);
+    counters_.priority_cycles.add(priority_app_, n);
   } else {
-    counters_.nonpriority_cycles.add();
+    counters_.nonpriority_cycles.add(n);
   }
 }
 

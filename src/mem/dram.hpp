@@ -131,11 +131,54 @@ class MemoryController {
   int queue_size() const { return static_cast<int>(queue_.size()); }
   int bus_ready_size() const { return static_cast<int>(bus_ready_.size()); }
   int inflight_size() const { return static_cast<int>(inflight_.size()); }
-  int preparing_banks() const {
-    int n = 0;
-    for (const Bank& b : banks_) n += b.preparing ? 1 : 0;
-    return n;
+  int preparing_banks() const { return preparing_count_; }
+
+  // --- Idle-cycle fast-forward support -----------------------------------
+  // A controller is *quiet* at `now` when cycle(now, …) would change no
+  // state other than the per-cycle counter accruals in account_cycle():
+  // nothing retires, the bus grants nothing, no prep finishes, and nothing
+  // can issue.  While quiet, those accruals are a pure function of frozen
+  // state, so a run of quiet cycles can be applied in one skip_cycles()
+  // lump.  next_event_after() bounds how long the controller stays quiet.
+
+  /// True when cycle(now, …) would be a pure-accounting no-op.
+  bool quiet_at(Cycle now) const {
+    if (!inflight_.empty() && inflight_.front().complete_at <= now)
+      return false;
+    if (!bus_ready_.empty() && bus_free_at_ <= now + t_cl_) return false;
+    if (preparing_count_ > 0 && next_prep_done() <= now) return false;
+    // A non-empty queue with committed-pipeline headroom may issue; whether
+    // it actually can depends on the FR-FCFS candidate scan, which we do
+    // not replicate — conservatively treat it as live.
+    if (!queue_.empty() &&
+        static_cast<int>(bus_ready_.size()) + preparing_count_ <
+            kMaxCommitted) {
+      return false;
+    }
+    return true;
   }
+
+  /// Earliest future cycle at which a quiet controller may act again, or at
+  /// which account_cycle()'s per-cycle classification changes (the bus-idle
+  /// split flips when `bus_free_at_` passes).  kNeverCycle when fully
+  /// drained.  Only meaningful when quiet_at(now) holds.
+  Cycle next_event_after(Cycle now) const {
+    Cycle next = kNeverCycle;
+    if (!inflight_.empty()) {
+      next = std::min(next, inflight_.front().complete_at);
+    }
+    if (!bus_ready_.empty()) {
+      next = std::min(next, bus_free_at_ - t_cl_);  // quiet ⇒ > now
+    }
+    if (preparing_count_ > 0) next = std::min(next, next_prep_done());
+    if (bus_free_at_ > now) next = std::min(next, bus_free_at_);
+    return next;
+  }
+
+  /// Applies `n` cycles' worth of account_cycle() in one lump.  Valid only
+  /// while quiet_at(now) holds for every cycle in [now, now + n) — i.e.
+  /// `now + n <= next_event_after(now)`.
+  void skip_cycles(Cycle now, Cycle n);
 
  private:
   /// A bank is only *occupied* while preparing a row (precharge +
@@ -172,10 +215,22 @@ class MemoryController {
   void issue_one(Cycle now);
   void account_cycle(Cycle now);
 
+  Cycle next_prep_done() const {
+    Cycle next = kNeverCycle;
+    for (const Bank& b : banks_) {
+      if (b.preparing) next = std::min(next, b.prep_done);
+    }
+    return next;
+  }
+
   const GpuConfig& cfg_;
   int num_apps_;
   int queue_capacity_;
+  // DRAM timings scaled to SM cycles, cached once — the per-call llround in
+  // GpuConfig::t_*() is measurable on the per-cycle path.
+  Cycle t_rp_, t_rcd_, t_cl_, t_burst_, t_bus_gap_, t_miss_bubble_;
   std::vector<Bank> banks_;
+  int preparing_count_ = 0;         ///< banks with .preparing set
   std::deque<DramCmd> queue_;       ///< shared FR-FCFS queue, arrival order
   std::deque<InFlight> bus_ready_;  ///< column accesses awaiting a bus grant
   std::deque<InFlight> inflight_;   ///< granted accesses, completion order
@@ -188,8 +243,12 @@ class MemoryController {
   std::array<int, kMaxApps> outstanding_{};  ///< queued + in-service
   std::vector<std::array<u16, kMaxApps>> queued_per_bank_app_;
   std::vector<std::array<u16, kMaxApps>> exec_per_bank_app_;
-  std::vector<std::vector<u64>> last_row_;  ///< [app][bank] last-row register
-  std::vector<std::vector<bool>> last_row_valid_;
+  /// Per-(app, bank) last-row registers, flattened to app * banks_per_mc +
+  /// bank, with validity as one bank bitmask per app (banks_per_mc <= 32 is
+  /// SIM_CHECKed) — the old vector<vector<bool>> pair cost two dependent
+  /// loads plus a bit-proxy dereference on every row-miss issue.
+  std::vector<u64> last_row_;
+  std::array<u32, kMaxApps> last_row_valid_{};
 
   McCounters counters_;
 };

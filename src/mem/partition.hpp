@@ -4,6 +4,7 @@
 // memory subsystem").
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <deque>
 #include <memory>
@@ -88,6 +89,41 @@ class MemoryPartition {
 
   std::size_t deferred_responses() const { return deferred_resps_.size(); }
   int mshr_in_flight() const { return mshr_.in_flight(); }
+
+  // --- Idle-cycle fast-forward support -----------------------------------
+  // Every stage of cycle() pops only queue *fronts*, so head-of-line
+  // timestamps bound exactly when the partition can act again.  The
+  // response queue's front maturity additionally gates the response
+  // crossbar's ingress from this partition.
+
+  /// True when cycle(now, in_queue) would change no state and the response
+  /// crossbar could not accept a packet from this partition either.
+  bool quiet_at(Cycle now,
+                const BoundedQueue<MemRequestPacket>& in_queue) const {
+    if (!deferred_resps_.empty()) return false;
+    if (!resp_queue_.empty() && resp_queue_.front().ready <= now)
+      return false;
+    if (!pending_hits_.empty() && pending_hits_.front().ready <= now)
+      return false;
+    if (!in_queue.empty() && in_queue.front().ready <= now) return false;
+    return mc_.quiet_at(now);
+  }
+
+  /// Earliest future cycle at which a quiet partition (or the crossbars
+  /// around it) may act again.  Only meaningful when quiet_at() holds.
+  Cycle next_event_after(Cycle now,
+                         const BoundedQueue<MemRequestPacket>& in_queue)
+      const {
+    Cycle next = mc_.next_event_after(now);
+    if (!resp_queue_.empty()) {
+      next = std::min(next, resp_queue_.front().ready);
+    }
+    if (!pending_hits_.empty()) {
+      next = std::min(next, pending_hits_.front().ready);
+    }
+    if (!in_queue.empty()) next = std::min(next, in_queue.front().ready);
+    return next;
+  }
 
  private:
   void push_response(MemResponsePacket resp, Cycle now);

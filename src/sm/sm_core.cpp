@@ -56,6 +56,7 @@ void SmCore::release() {
   source_ = nullptr;
   draining_ = false;
   last_issued_ = -1;
+  ready_warps_ = 0;
   for (WarpCtx& w : warps_) w = WarpCtx{};
   for (BlockSlot& b : blocks_) b = BlockSlot{};
   l1_.clear();
@@ -123,6 +124,7 @@ void SmCore::refill_blocks() {
       WarpCtx& w = warps_[free_ctxs[i]];
       w = WarpCtx{};
       w.state = WarpCtx::State::kReady;
+      ++ready_warps_;
       w.budget = profile.instrs_per_warp;
       w.block_slot = slot;
       w.stream.emplace(&profile, source_->app(), source_->app_seed(), *block,
@@ -244,6 +246,7 @@ void SmCore::issue(Cycle now) {
   warp.compute_remaining = warp.stream->next_compute_run();
   warp.outstanding = static_cast<int>(addr_scratch_.size());
   warp.state = WarpCtx::State::kWaitingMem;
+  --ready_warps_;
   for (u64 addr : addr_scratch_) {
     pending_txns_.push_back({pick, addr});
   }
@@ -265,12 +268,14 @@ void SmCore::complete_txn(WarpId warp_id) {
       retire_warp(warp_id);
     } else {
       warp.state = WarpCtx::State::kReady;
+      ++ready_warps_;
     }
   }
 }
 
 void SmCore::retire_warp(WarpId warp_id) {
   WarpCtx& warp = warps_[warp_id];
+  if (warp.state == WarpCtx::State::kReady) --ready_warps_;
   warp.state = WarpCtx::State::kDone;
   BlockSlot& block = blocks_[warp.block_slot];
   SIM_CHECK(block.active && block.warps_remaining > 0,

@@ -102,6 +102,43 @@ class SmCore {
     return n;
   }
 
+  // --- Idle-cycle fast-forward support -----------------------------------
+
+  /// True when cycle(now) would change nothing but the stall/idle counters:
+  /// no L1 hit matures, no transaction dispatches, no warp can issue, and
+  /// no outbound packet waits.  (refill_blocks() is a stable no-op in this
+  /// state: it ran to saturation at the end of the previous cycle and no
+  /// SM-visible input changed since.)  `ready_warps_` makes this O(1).
+  bool quiet_at(Cycle now) const {
+    return ready_warps_ == 0 && pending_txns_.empty() &&
+           out_queue_.empty() &&
+           (local_hits_.empty() || local_hits_.front().first > now);
+  }
+
+  /// Earliest future cycle at which this core acts on its own (an L1 hit
+  /// maturing); responses arriving via the interconnect are the caller's
+  /// events.  kNeverCycle when nothing is scheduled.
+  Cycle next_local_event() const {
+    return local_hits_.empty() ? kNeverCycle : local_hits_.front().first;
+  }
+
+  /// Applies `n` quiet cycles' worth of the issue-stage stall/idle
+  /// accounting in one lump.  Valid only while quiet_at() holds throughout.
+  void skip_cycles(Cycle n) {
+    bool any_waiting = false;
+    bool any_live = false;
+    for (const WarpCtx& w : warps_) {
+      any_waiting |= w.state == WarpCtx::State::kWaitingMem;
+      any_live |= w.state != WarpCtx::State::kUnused &&
+                  w.state != WarpCtx::State::kDone;
+    }
+    if (any_waiting) {
+      counters_.mem_stall_cycles.add(n);
+    } else if (!any_live) {
+      counters_.idle_cycles.add(n);
+    }
+  }
+
   AppId app() const { return source_ != nullptr ? source_->app() : kInvalidApp; }
   bool assigned() const { return source_ != nullptr; }
   SmId id() const { return id_; }
@@ -160,6 +197,9 @@ class SmCore {
   BoundedQueue<MemRequestPacket> out_queue_;
 
   WarpId last_issued_ = -1;
+  /// Count of warps in State::kReady, maintained at every state
+  /// transition so quiet_at() needs no warp scan.
+  int ready_warps_ = 0;
   std::vector<u64> addr_scratch_;
   SmCounters counters_;
   PerAppCounter* instr_sink_ = nullptr;

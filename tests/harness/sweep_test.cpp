@@ -5,12 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/sim_error.hpp"
@@ -335,6 +340,171 @@ TEST(SweepRunnerTest, RejectsZeroAttempts) {
   SweepOptions opts;
   opts.max_attempts = 0;
   EXPECT_THROW(SweepRunner(opts, fake_result), SimError);
+}
+
+TEST(SweepRunnerTest, RejectsNegativeJobs) {
+  SweepOptions opts;
+  opts.jobs = -1;
+  EXPECT_THROW(SweepRunner(opts, fake_result), SimError);
+}
+
+// --- parallel sweep (jobs > 1): same bytes, same crash-safety ---
+
+std::string sweep_and_serialize(SweepOptions opts,
+                                const std::vector<Workload>& workloads,
+                                const std::string& tag) {
+  const std::string out = temp_path(tag + ".json");
+  SweepRunner sweep(opts, fake_result);
+  SweepRunner::write_results(out, sweep.run(workloads));
+  const std::string text = slurp(out);
+  std::remove(out.c_str());
+  return text;
+}
+
+TEST(SweepRunnerParallelTest, JobsEightWritesBytesIdenticalToSerial) {
+  const auto workloads = first_workloads(8);
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  const std::string a = sweep_and_serialize(serial, workloads, "par_serial");
+  const std::string b = sweep_and_serialize(parallel, workloads, "par_jobs8");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunnerParallelTest, InterruptedParallelSweepResumesByteIdentical) {
+  const auto workloads = first_workloads(8);
+
+  // Uninterrupted serial reference.
+  const std::string expected =
+      sweep_and_serialize({}, workloads, "par_resume_ref");
+
+  // Parallel sweep "killed" after a prefix, with a torn line appended the
+  // way a mid-write crash would leave it; a parallel resume must repair
+  // the tail and produce the reference bytes.
+  const std::string ckpt = temp_path("par_resume.jsonl");
+  std::remove(ckpt.c_str());
+  {
+    SweepOptions opts;
+    opts.checkpoint_path = ckpt;
+    opts.jobs = 4;
+    SweepRunner sweep(opts, fake_result);
+    sweep.run(first_workloads(4));  // killed here
+  }
+  {
+    std::ofstream out(ckpt, std::ios::app);
+    out << "{\"label\":\"" << workloads[5].label() << "\",\"ok\":tr";
+  }
+  SweepOptions opts;
+  opts.checkpoint_path = ckpt;
+  opts.jobs = 8;
+  const std::string out = temp_path("par_resumed.json");
+  SweepRunner sweep(opts, fake_result);
+  SweepRunner::write_results(out, sweep.run(workloads));
+  EXPECT_EQ(sweep.resumed(), 4);
+  EXPECT_EQ(expected, slurp(out));
+  std::remove(ckpt.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(SweepRunnerParallelTest, FlakyPairIsRetriedOnItsWorker) {
+  const auto workloads = first_workloads(6);
+  const std::string flaky = workloads[2].label();
+  std::mutex mu;
+  std::map<std::string, int> calls;
+  SweepOptions opts;
+  opts.max_attempts = 3;
+  opts.jobs = 4;
+  SweepRunner sweep(opts, [&](const Workload& w) {
+    int attempt;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      attempt = ++calls[w.label()];
+    }
+    if (w.label() == flaky && attempt < 3) {
+      throw std::runtime_error("transient failure");
+    }
+    return fake_result(w);
+  });
+  const auto entries = sweep.run(workloads);
+  ASSERT_EQ(entries.size(), 6u);
+  EXPECT_TRUE(entries[2].ok);
+  EXPECT_EQ(entries[2].attempts, 3);
+  EXPECT_EQ(sweep.attempts_spent(), 8);
+}
+
+TEST(SweepRunnerParallelTest, FailFastRethrowsLowestIndexFailure) {
+  const auto workloads = first_workloads(6);
+  SweepOptions opts;
+  opts.max_attempts = 1;
+  opts.fail_fast = true;
+  opts.jobs = 8;
+  SweepRunner sweep(opts, [&](const Workload&) -> CoRunResult {
+    throw std::runtime_error("broken pair");
+  });
+  try {
+    sweep.run(workloads);
+    FAIL() << "fail_fast did not abort";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kHarness);
+    // Several pairs fail concurrently; the rethrow must deterministically
+    // name the lowest-index one.
+    EXPECT_NE(std::string(e.what()).find(workloads[0].label()),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepRunnerParallelTest, FactoryRunsOncePerWorkerOnMainThread) {
+  const auto workloads = first_workloads(6);
+  const std::thread::id main_thread = std::this_thread::get_id();
+  std::atomic<int> factory_calls{0};
+  SweepOptions opts;
+  opts.jobs = 3;
+  SweepRunner sweep(opts, SweepRunner::RunFnFactory([&]() {
+                      ++factory_calls;
+                      EXPECT_EQ(std::this_thread::get_id(), main_thread)
+                          << "factories must not be required thread-safe";
+                      return SweepRunner::RunFn(fake_result);
+                    }));
+  const auto entries = sweep.run(workloads);
+  EXPECT_EQ(factory_calls.load(), 3);
+  for (const SweepEntry& e : entries) EXPECT_TRUE(e.ok);
+}
+
+TEST(SweepRunnerParallelTest, JobsZeroMeansHardwareConcurrency) {
+  SweepOptions opts;
+  opts.jobs = 0;
+  SweepRunner sweep(opts, fake_result);
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  EXPECT_EQ(sweep.effective_jobs(1000), hw);
+  EXPECT_EQ(sweep.effective_jobs(1), 1);  // never more workers than pairs
+  const auto entries = sweep.run(first_workloads(3));
+  ASSERT_EQ(entries.size(), 3u);
+  for (const SweepEntry& e : entries) EXPECT_TRUE(e.ok);
+}
+
+TEST(SweepRunnerParallelTest, WorkersOverlapInTime) {
+  // Not a throughput claim (the host may have one core): sleeping runs
+  // overlap iff the pool really dispatches pairs to distinct threads.
+  const auto workloads = first_workloads(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  SweepOptions opts;
+  opts.jobs = 4;
+  SweepRunner sweep(opts, [&](const Workload& w) {
+    const int now = ++in_flight;
+    int seen = max_in_flight.load();
+    while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    --in_flight;
+    return fake_result(w);
+  });
+  sweep.run(workloads);
+  EXPECT_GE(max_in_flight.load(), 2);
 }
 
 }  // namespace

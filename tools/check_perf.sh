@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Performance gate: run bench_sim_throughput, write a fresh
+# BENCH_throughput.json, and fail if cycles/sec regressed more than the
+# tolerance against the committed baseline at the repo root.
+#
+#   tools/check_perf.sh [--update] [build-dir]   (default: build)
+#
+#   --update   overwrite the committed BENCH_throughput.json with the
+#              fresh measurement (do this when the perf profile changes
+#              intentionally, or when switching measurement hosts —
+#              wall-clock baselines are machine-specific)
+#
+# Environment:
+#   GPUSIM_PERF_TOLERANCE   allowed fractional regression (default 0.15)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [[ "${1:-}" == "--update" ]]; then
+  UPDATE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+TOLERANCE="${GPUSIM_PERF_TOLERANCE:-0.15}"
+BASELINE="BENCH_throughput.json"
+FRESH="$BUILD_DIR/BENCH_throughput.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_sim_throughput" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_sim_throughput
+fi
+
+"$BUILD_DIR/bench/bench_sim_throughput" "$FRESH"
+
+# The baseline format keeps one key per line, so plain awk can read it.
+json_key() {  # json_key FILE KEY
+  awk -F'[:,]' -v key="\"$2\"" '$1 ~ key { gsub(/[ "]/, "", $2); print $2 }' "$1"
+}
+
+if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
+  cp "$FRESH" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+fail=0
+for key in sim_cycles_per_sec_fast_forward sim_cycles_per_sec_no_fast_forward; do
+  base=$(json_key "$BASELINE" "$key")
+  fresh=$(json_key "$FRESH" "$key")
+  if [[ -z "$base" || -z "$fresh" ]]; then
+    echo "FAIL: key $key missing from baseline or fresh measurement"
+    fail=1
+    continue
+  fi
+  ok=$(awk -v b="$base" -v f="$fresh" -v tol="$TOLERANCE" \
+       'BEGIN { print (f >= b * (1.0 - tol)) ? 1 : 0 }')
+  pct=$(awk -v b="$base" -v f="$fresh" 'BEGIN { printf "%+.1f", 100.0 * (f - b) / b }')
+  if [[ "$ok" == 1 ]]; then
+    echo "OK:   $key $fresh vs baseline $base (${pct}%)"
+  else
+    echo "FAIL: $key regressed beyond ${TOLERANCE}: $fresh vs baseline $base (${pct}%)"
+    fail=1
+  fi
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "perf check failed — investigate, or refresh intentionally with tools/check_perf.sh --update"
+  exit 1
+fi
+echo "perf check passed (tolerance ${TOLERANCE})"

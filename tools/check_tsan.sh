@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Configure, build and run the parallel-sweep tests under ThreadSanitizer.
+# Used before merging anything that touches the SweepRunner worker pool or
+# the checkpoint-writer locking; a clean pass means no data races across
+# the worker threads, the checkpoint mutex and the entry assembly.
+#
+#   tools/check_tsan.sh [build-dir]            (default: build-tsan)
+#
+# Runs only the harness sweep tests by default (a full TSan suite run is
+# slow); pass a ctest -R pattern as $2 to widen.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+FILTER="${2:-sweep}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUSIM_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir "$BUILD_DIR" -R "$FILTER" -j "$(nproc)" --output-on-failure

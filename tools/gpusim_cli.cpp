@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -62,6 +63,10 @@ using namespace gpusim;
       << "  --retries N       sweep attempts per pair (default 3)\n"
       << "  --backoff-ms N    sweep retry backoff in ms (default 0)\n"
       << "  --fail-fast       abort the sweep on the first failed pair\n"
+      << "  --jobs N          sweep worker threads (default: one per "
+         "hardware thread;\n"
+      << "                    1 = serial; results are byte-identical for "
+         "any N)\n"
       << "  --dump-config     print the default config file and exit\n"
       << "  --list-apps       print the application registry and exit\n";
   std::exit(2);
@@ -167,10 +172,15 @@ int run_sweep(const std::string& which, const RunConfig& rc,
     usage(argv0, "--sweep expects 'all' or 'random:N', got '" + which + "'");
   }
 
-  ExperimentRunner runner(rc);
-  SweepRunner sweep(opts, [&](const Workload& w) {
-    return runner.run(w, models);
-  });
+  // One ExperimentRunner per worker thread: the runner's alone-IPC cache
+  // is mutable state, so workers must not share an instance.  Every runner
+  // computes identical cached values, so results do not depend on jobs.
+  SweepRunner sweep(opts, SweepRunner::RunFnFactory([&rc, &models]() {
+                      auto runner = std::make_shared<ExperimentRunner>(rc);
+                      return [runner, &models](const Workload& w) {
+                        return runner->run(w, models);
+                      };
+                    }));
   const std::vector<SweepEntry> entries = sweep.run(workloads);
   SweepRunner::write_results(out_path, entries);
 
@@ -202,6 +212,7 @@ int main(int argc, char** argv) {
   bool have_split = false;
   std::string sweep_which;
   SweepOptions sweep_opts;
+  sweep_opts.jobs = 0;  // CLI default: one worker per hardware thread
   std::string sweep_out = "sweep_results.json";
 
   for (int i = 1; i < argc; ++i) {
@@ -271,6 +282,8 @@ int main(int argc, char** argv) {
           static_cast<int>(parse_u64(argv[0], arg, next(), 0));
     } else if (arg == "--fail-fast") {
       sweep_opts.fail_fast = true;
+    } else if (arg == "--jobs") {
+      sweep_opts.jobs = static_cast<int>(parse_u64(argv[0], arg, next(), 1));
     } else if (arg == "--alone") {
       const std::string m = next();
       if (m == "replay") {
