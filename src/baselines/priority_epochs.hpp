@@ -54,7 +54,20 @@ class PriorityEpochDriver final : public CycleHook {
     }
   }
 
+  void save_state(StateWriter& w) const override { write_hook_state(w); }
+  void hash_state(Hasher& h) const override { write_hook_state(h); }
+  void load_state(StateReader& r) override {
+    r.expect_tag("EPCH");
+    current_ = r.get_i32();
+  }
+
  private:
+  template <typename Sink>
+  void write_hook_state(Sink& s) const {
+    s.put_tag("EPCH");
+    s.put_i32(current_);
+  }
+
   Cycle interval_;
   Cycle epoch_length_;
   int num_apps_;

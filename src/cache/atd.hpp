@@ -42,6 +42,21 @@ class SampledAtd {
 
   void clear();
 
+  // SimState: geometry/stride are construction-time config.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("ATD ");
+    tags_.write_state(s);
+    s.put_u64(sample_extra_misses_);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("ATD ");
+    tags_.load(r);
+    sample_extra_misses_ = r.get_u64();
+  }
+
  private:
   int shadow_sets_;
   int sample_stride_;  // shadow set index is sampled when index % stride == 0

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -63,6 +64,40 @@ class SetAssocCache {
   u64 line_addr(u64 addr) const { return addr / line_bytes_; }
   int set_index(u64 addr) const {
     return static_cast<int>(line_addr(addr) % num_sets_);
+  }
+
+  // SimState: geometry is construction-time config; tags, LRU stamps and
+  // stats are the run-time state.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("CACH");
+    s.put_u64(tick_);
+    for (const Line& l : lines_) {
+      s.put_u64(l.tag);
+      s.put_u64(l.lru_stamp);
+      s.put_i32(l.app);
+      s.put_bool(l.valid);
+    }
+    s.put_u64(stats_.accesses);
+    s.put_u64(stats_.hits);
+    s.put_u64(stats_.evictions);
+    s.put_u64(stats_.cross_app_evictions);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("CACH");
+    tick_ = r.get_u64();
+    for (Line& l : lines_) {
+      l.tag = r.get_u64();
+      l.lru_stamp = r.get_u64();
+      l.app = r.get_i32();
+      l.valid = r.get_bool();
+    }
+    stats_.accesses = r.get_u64();
+    stats_.hits = r.get_u64();
+    stats_.evictions = r.get_u64();
+    stats_.cross_app_evictions = r.get_u64();
   }
 
  private:

@@ -6,11 +6,13 @@
 // MSHR tracks waiting (SM, warp) pairs across SMs.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <unordered_map>
 #include <vector>
 
 #include "common/sim_error.hpp"
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -67,6 +69,49 @@ class Mshr {
   int in_flight() const { return static_cast<int>(entries_.size()); }
   bool full() const { return in_flight() >= max_entries_; }
   void clear() { entries_.clear(); }
+
+  // SimState: entries are serialized in sorted line-address order so save and
+  // hash are independent of unordered_map iteration order.  The simulator
+  // only ever looks entries up by key, so the rebuilt map's internal order
+  // cannot influence behaviour; waiter order *within* a line is preserved
+  // because release() fans responses out in recorded order.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("MSHR");
+    std::vector<u64> lines;
+    lines.reserve(entries_.size());
+    for (const auto& [line, waiters] : entries_) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    s.put_u64(lines.size());
+    for (u64 line : lines) {
+      const auto& waiters = entries_.at(line);
+      s.put_u64(line);
+      s.put_u64(waiters.size());
+      for (const MshrWaiter& w : waiters) {
+        s.put_i32(w.sm);
+        s.put_i32(w.warp);
+        s.put_i32(w.app);
+      }
+    }
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("MSHR");
+    entries_.clear();
+    const u64 n = r.get_count(static_cast<u64>(max_entries_), "mshr entries");
+    for (u64 i = 0; i < n; ++i) {
+      const u64 line = r.get_u64();
+      const u64 waiter_count = r.get_count(1u << 20, "mshr waiters");
+      auto& waiters = entries_[line];
+      waiters.resize(waiter_count);
+      for (auto& w : waiters) {
+        w.sm = r.get_i32();
+        w.warp = r.get_i32();
+        w.app = r.get_i32();
+      }
+    }
+  }
 
   /// Adds the number of recorded waiters of each application to `out`
   /// (conservation audit: each waiter owes exactly one response packet).

@@ -25,6 +25,22 @@ struct ConservationTaps {
   PerAppCounter requests_consumed;    ///< partition accepted a packet (hit/miss/merge)
   PerAppCounter responses_enqueued;   ///< partition produced a response packet
   PerAppCounter responses_delivered;  ///< Gpu handed a response to an SM
+
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    requests_sent.write_state(s);
+    requests_consumed.write_state(s);
+    responses_enqueued.write_state(s);
+    responses_delivered.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    requests_sent.load(r);
+    requests_consumed.load(r);
+    responses_enqueued.load(r);
+    responses_delivered.load(r);
+  }
 };
 
 /// Result of one conservation audit.  `leaked[a] = sent - delivered -

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/sim_error.hpp"
+#include "common/simstate.hpp"
 
 namespace gpusim {
 
@@ -66,6 +67,26 @@ class BoundedQueue {
   }
 
   void clear() { items_.clear(); }
+
+  // SimState: capacity is construction-time configuration, so only the
+  // occupancy is serialized.  Elements round-trip through ADL free functions
+  // write_item(Sink&, const T&) / read_item(StateReader&, T&).
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_u64(items_.size());
+    for (const T& item : items_) write_item(s, item);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    items_.clear();
+    const u64 n = r.get_count(capacity_, "bounded_queue items");
+    for (u64 i = 0; i < n; ++i) {
+      T item{};
+      read_item(r, item);
+      items_.push_back(std::move(item));
+    }
+  }
 
  private:
   std::size_t capacity_;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -95,6 +96,47 @@ struct GpuConfig {
 
   /// Validates internal consistency; throws std::invalid_argument on error.
   void validate() const;
+
+  /// Feeds every configuration field into a SimState sink — used for the
+  /// snapshot-file fingerprint that rejects restoring a checkpoint into a
+  /// differently configured simulator.
+  template <typename Sink>
+  void write_fingerprint(Sink& s) const {
+    s.put_i32(num_sms);
+    s.put_i32(max_warps_per_sm);
+    s.put_i32(warp_size);
+    s.put_i32(max_blocks_per_sm);
+    s.put_i32(line_bytes);
+    s.put_i32(l1_size_bytes);
+    s.put_i32(l1_assoc);
+    s.put_u64(l1_hit_latency);
+    s.put_i32(l2_partition_bytes);
+    s.put_i32(l2_assoc);
+    s.put_u64(l2_hit_latency);
+    s.put_i32(l2_mshr_entries);
+    s.put_i32(l1_mshr_entries);
+    s.put_i32(atd_sampled_sets);
+    s.put_u64(noc_latency);
+    s.put_i32(noc_accepts_per_cycle);
+    s.put_i32(noc_queue_depth);
+    s.put_i32(num_partitions);
+    s.put_i32(banks_per_mc);
+    s.put_double(dram_clock_ratio);
+    s.put_i32(t_rp_dram);
+    s.put_i32(t_rcd_dram);
+    s.put_i32(t_cl_dram);
+    s.put_i32(t_burst_dram);
+    s.put_i32(t_bus_gap_dram);
+    s.put_i32(t_miss_bubble_dram);
+    s.put_i32(dram_queue_capacity);
+    s.put_u64(row_bytes);
+    s.put_i32(partition_resp_queue_depth);
+    s.put_u64(l2_miss_extra_latency);
+    s.put_u64(estimation_interval);
+    s.put_double(requestmax_factor);
+    s.put_double(alpha_clamp_threshold);
+    s.put_bool(alpha_clamp_enabled);
+  }
 };
 
 }  // namespace gpusim

@@ -4,8 +4,13 @@
 // alone-run replay methodology (Section V of the paper) compares co-run and
 // alone-run executions of the *same* instruction stream, so every warp's
 // address stream is derived from an explicit per-warp seed.
+// Discipline: every component owns its engine, seeded explicitly from its
+// parent (no shared or global generator anywhere in the simulator), and the
+// engine state is serializable — so a snapshot/restore or a parallel sweep
+// (--jobs N) can never perturb any component's draw order.
 #pragma once
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -47,6 +52,32 @@ class Rng {
 
   /// Bernoulli draw with success probability p.
   bool next_bool(double p) { return next_double() < p; }
+
+  /// Derives an independent child engine for a sub-component.  Mixing the
+  /// stream id through SplitMix64 decorrelates children of the same parent;
+  /// the parent's own state is not consumed, so adding a fork never shifts
+  /// sibling draw order.
+  Rng fork(u64 stream_id) const {
+    return Rng(mix_bits(state_[0] ^ mix_bits(stream_id + 0x9E3779B97F4A7C15ULL)));
+  }
+
+  // SimState serialization: the four xoshiro256** words are the entire state.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    for (u64 w : state_) s.put_u64(w);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    for (auto& w : state_) w = r.get_u64();
+  }
+
+  friend bool operator==(const Rng& a, const Rng& b) {
+    for (int i = 0; i < 4; ++i) {
+      if (a.state_[i] != b.state_[i]) return false;
+    }
+    return true;
+  }
 
  private:
   static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -11,6 +11,7 @@ const char* to_string(SimErrorKind kind) {
     case SimErrorKind::kConfig: return "config";
     case SimErrorKind::kHarness: return "harness";
     case SimErrorKind::kFault: return "fault";
+    case SimErrorKind::kSnapshot: return "snapshot";
   }
   return "unknown";
 }

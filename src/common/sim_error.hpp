@@ -37,6 +37,7 @@ enum class SimErrorKind {
   kConfig,         ///< invalid configuration reached a component
   kHarness,        ///< experiment-harness misuse (missing model, bad split)
   kFault,          ///< raised by an injected fault on purpose
+  kSnapshot,       ///< SimState snapshot format / integrity / mismatch error
 };
 
 const char* to_string(SimErrorKind kind);

@@ -1,0 +1,205 @@
+// SimState serialization primitives: StateWriter / StateReader / Hasher.
+//
+// Every stateful component of the simulator exposes
+//
+//   template <typename Sink> void write_state(Sink&) const;   // shared path
+//   void save(StateWriter&) const;    // -> write_state(writer)
+//   void hash(Hasher&) const;         // -> write_state(hasher)
+//   void load(StateReader&);          // mirrors write_state field order
+//
+// StateWriter and Hasher deliberately share the same put_* vocabulary so the
+// byte stream that is checkpointed and the 64-bit state hash used for
+// divergence detection are, by construction, computed over exactly the same
+// fields in exactly the same order.  A component cannot accidentally hash a
+// field it forgot to save, or vice versa.
+//
+// Encoding is explicit little-endian regardless of host byte order, so a
+// snapshot written on one machine restores on any other.  Section tags (four
+// ASCII bytes) are interleaved between components; a reader that drifts out
+// of sync with the writer fails fast on the next tag with a structured
+// SimError(kSnapshot) naming the expected and encountered tags, instead of
+// silently deserializing garbage.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hpp"
+#include "common/types.hpp"
+
+namespace gpusim {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+constexpr u64 mix_bits(u64 x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Serializes state into an in-memory little-endian byte buffer.
+class StateWriter {
+ public:
+  void put_u8(u8 v) { bytes_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_i32(i32 v) { put_u32(static_cast<u32>(v)); }
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_double(double v) { put_u64(std::bit_cast<u64>(v)); }
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  /// Four-ASCII-byte section marker, e.g. put_tag("SMCR").
+  void put_tag(const char* tag4) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<u8>(tag4[i]));
+  }
+
+  const std::vector<u8>& bytes() const { return bytes_; }
+  std::vector<u8> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<u8> bytes_;
+};
+
+/// Bounds-checked reader over a snapshot byte buffer.  Every overrun or tag
+/// mismatch raises SimError(kSnapshot) rather than reading garbage.
+class StateReader {
+ public:
+  StateReader(const u8* data, std::size_t size) : data_(data), size_(size) {}
+  explicit StateReader(const std::vector<u8>& bytes)
+      : StateReader(bytes.data(), bytes.size()) {}
+
+  u8 get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  u32 get_u32() {
+    need(4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  u64 get_u64() {
+    need(8);
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  i32 get_i32() { return static_cast<i32>(get_u32()); }
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+  bool get_bool() {
+    const u8 v = get_u8();
+    SIM_CHECK(v <= 1, SimError(SimErrorKind::kSnapshot, "common.simstate",
+                               "corrupt bool encoding")
+                          .detail("byte", static_cast<int>(v))
+                          .detail("offset", pos_ - 1));
+    return v != 0;
+  }
+  double get_double() { return std::bit_cast<double>(get_u64()); }
+  std::string get_string() {
+    const u64 n = get_u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// Consumes a 4-byte section marker; throws on mismatch so a save/load
+  /// field-order drift is detected at the next component boundary.
+  void expect_tag(const char* tag4) {
+    need(4);
+    char found[5] = {};
+    std::memcpy(found, data_ + pos_, 4);
+    if (std::memcmp(found, tag4, 4) != 0) {
+      SIM_FAIL(SimError(SimErrorKind::kSnapshot, "common.simstate",
+                        "section tag mismatch (save/load drift or corruption)")
+                   .detail("expected", tag4)
+                   .detail("found", found)
+                   .detail("offset", pos_));
+    }
+    pos_ += 4;
+  }
+  /// Bounded sequence length: guards deque/vector restores against a corrupt
+  /// length field allocating unbounded memory.
+  u64 get_count(u64 max, const char* what) {
+    const u64 n = get_u64();
+    SIM_CHECK(n <= max, SimError(SimErrorKind::kSnapshot, "common.simstate",
+                                 "sequence length exceeds bound")
+                            .detail("sequence", what)
+                            .detail("length", n)
+                            .detail("bound", max));
+    return n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+  void require_end() const {
+    SIM_CHECK(exhausted(), SimError(SimErrorKind::kSnapshot, "common.simstate",
+                                    "trailing bytes after final section")
+                               .detail("remaining", remaining()));
+  }
+
+ private:
+  void need(u64 n) {
+    SIM_CHECK(n <= size_ - pos_,
+              SimError(SimErrorKind::kSnapshot, "common.simstate",
+                       "snapshot truncated: read past end of buffer")
+                  .detail("offset", pos_)
+                  .detail("requested", n)
+                  .detail("size", size_));
+  }
+
+  const u8* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Incremental 64-bit state hash with the same put_* vocabulary as
+/// StateWriter, so `write_state` feeds both sinks identically.  FNV-1a over
+/// SplitMix64-mixed words; not cryptographic — it exists to make two runs
+/// comparable cycle-by-cycle, and to catch corrupt or asymmetric restores.
+class Hasher {
+ public:
+  void put_u8(u8 v) { absorb(v); }
+  void put_u32(u32 v) { absorb(v); }
+  void put_u64(u64 v) { absorb(v); }
+  void put_i32(i32 v) { absorb(static_cast<u64>(static_cast<u32>(v))); }
+  void put_i64(i64 v) { absorb(static_cast<u64>(v)); }
+  void put_bool(bool v) { absorb(v ? 1 : 0); }
+  void put_double(double v) { absorb(std::bit_cast<u64>(v)); }
+  void put_string(const std::string& s) {
+    absorb(s.size());
+    for (char c : s) absorb(static_cast<u8>(c));
+  }
+  void put_tag(const char* tag4) {
+    u32 packed = 0;
+    for (int i = 0; i < 4; ++i) {
+      packed |= static_cast<u32>(static_cast<u8>(tag4[i])) << (8 * i);
+    }
+    absorb(packed);
+  }
+
+  u64 digest() const { return mix_bits(h_); }
+
+ private:
+  void absorb(u64 v) { h_ = (h_ ^ mix_bits(v)) * 0x100000001B3ULL; }
+  u64 h_ = 0xCBF29CE484222325ULL;  // FNV-64 offset basis
+};
+
+/// Hash of a single component in isolation (divergence drill-down helper).
+template <typename T>
+u64 state_hash_of(const T& component) {
+  Hasher h;
+  component.write_state(h);
+  return h.digest();
+}
+
+}  // namespace gpusim

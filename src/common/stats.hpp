@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -39,6 +40,18 @@ class PerAppCounter {
     snapshot_.fill(0);
   }
 
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    for (u64 v : total_) s.put_u64(v);
+    for (u64 v : snapshot_) s.put_u64(v);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    for (auto& v : total_) v = r.get_u64();
+    for (auto& v : snapshot_) v = r.get_u64();
+  }
+
  private:
   std::array<u64, kMaxApps> total_{};
   std::array<u64, kMaxApps> snapshot_{};
@@ -53,6 +66,18 @@ class RunningMean {
   }
   u64 count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_u64(count_);
+    s.put_double(sum_);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    count_ = r.get_u64();
+    sum_ = r.get_double();
+  }
 
  private:
   u64 count_ = 0;

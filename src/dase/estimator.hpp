@@ -56,11 +56,47 @@ class SlowdownEstimator : public IntervalObserver {
   u64 intervals_seen() const { return intervals_seen_; }
   virtual std::string name() const = 0;
 
+  // SimState: all estimator accumulation lives in this base (the DASE /
+  // MISE / ASM subclasses are pure functions of the interval sample), so
+  // serializing it here covers every estimator.
+  void save_state(StateWriter& w) const final { write_obs_state(w); }
+  void hash_state(Hasher& h) const final { write_obs_state(h); }
+  void load_state(StateReader& r) final {
+    r.expect_tag("ESTM");
+    intervals_seen_ = r.get_u64();
+    latest_.resize(r.get_count(kMaxApps, "estimator latest"));
+    for (SlowdownEstimate& e : latest_) {
+      e.valid = r.get_bool();
+      e.mbb = r.get_bool();
+      e.slowdown_assigned = r.get_double();
+      e.slowdown_all = r.get_double();
+      e.alpha = r.get_double();
+      e.interference_cycles = r.get_double();
+    }
+    for (RunningMean& m : accum_) m.load(r);
+  }
+
  protected:
   virtual std::vector<SlowdownEstimate> estimate(const IntervalSample& sample,
                                                  Gpu& gpu) = 0;
 
  private:
+  template <typename Sink>
+  void write_obs_state(Sink& s) const {
+    s.put_tag("ESTM");
+    s.put_u64(intervals_seen_);
+    s.put_u64(latest_.size());
+    for (const SlowdownEstimate& e : latest_) {
+      s.put_bool(e.valid);
+      s.put_bool(e.mbb);
+      s.put_double(e.slowdown_assigned);
+      s.put_double(e.slowdown_all);
+      s.put_double(e.alpha);
+      s.put_double(e.interference_cycles);
+    }
+    for (const RunningMean& m : accum_) m.write_state(s);
+  }
+
   int warmup_;
   u64 intervals_seen_ = 0;
   std::vector<SlowdownEstimate> latest_;

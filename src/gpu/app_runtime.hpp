@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 #include "kernels/kernel_profile.hpp"
 #include "sm/block_source.hpp"
@@ -37,9 +38,27 @@ class AppRuntime final : public BlockSource {
   const KernelProfile& profile() const override { return profile_; }
   AppId app() const override { return app_; }
   u64 app_seed() const override { return seed_; }
+  bool restart_on_finish() const { return restart_on_finish_; }
 
   u64 blocks_completed() const { return blocks_completed_; }
   u64 kernel_restarts() const { return kernel_restarts_; }
+
+  // SimState: profile/app/seed are construction-time launch parameters.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("APPR");
+    s.put_u64(next_block_);
+    s.put_u64(blocks_completed_);
+    s.put_u64(kernel_restarts_);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("APPR");
+    next_block_ = r.get_u64();
+    blocks_completed_ = r.get_u64();
+    kernel_restarts_ = r.get_u64();
+  }
 
   /// TB_sum of Eq. 24: unfinished thread blocks.  Unbounded under
   /// restart-on-finish, so report the full grid size in that case.

@@ -376,4 +376,101 @@ std::string Gpu::dump_state() const {
   return ss.str();
 }
 
+template <typename Sink>
+void Gpu::write_state(Sink& s) const {
+  // fast_forwarded_ is deliberately absent: it counts cycles the idle-cycle
+  // fast-forward *skipped*, which is execution-strategy bookkeeping, not
+  // simulated state — including it would make the fast-forward-on and -off
+  // hashes differ even though every simulated observable is identical.
+  s.put_tag("GPU ");
+  s.put_u64(now_);
+  s.put_u64(last_interval_end_);
+  s.put_bool(migration_pending_);
+  s.put_u64(desired_partition_.size());
+  for (AppId a : desired_partition_) s.put_i32(a);
+  instructions_.write_state(s);
+  sm_cycles_.write_state(s);
+  taps_.write_state(s);
+  for (const auto& rt : runtimes_) rt->write_state(s);
+  for (const auto& sm : sms_) {
+    s.put_i32(sm->app());
+    sm->write_state(s);
+  }
+  for (const auto& part : partitions_) part->write_state(s);
+  req_net_.write_state(s);
+  resp_net_.write_state(s);
+}
+
+template void Gpu::write_state<StateWriter>(StateWriter&) const;
+template void Gpu::write_state<Hasher>(Hasher&) const;
+
+void Gpu::load(StateReader& r) {
+  r.expect_tag("GPU ");
+  now_ = r.get_u64();
+  last_interval_end_ = r.get_u64();
+  migration_pending_ = r.get_bool();
+  const u64 parts = r.get_u64();
+  SIM_CHECK(parts == desired_partition_.size(),
+            SimError(SimErrorKind::kSnapshot, "gpu",
+                     "snapshot partition-table size does not match this GPU")
+                .detail("snapshot_sms", parts)
+                .detail("gpu_sms", desired_partition_.size()));
+  for (AppId& a : desired_partition_) a = r.get_i32();
+  instructions_.load(r);
+  sm_cycles_.load(r);
+  taps_.load(r);
+  for (auto& rt : runtimes_) rt->load(r);
+  for (auto& sm : sms_) {
+    const AppId app = r.get_i32();
+    SIM_CHECK(app == kInvalidApp || (app >= 0 && app < num_apps()),
+              SimError(SimErrorKind::kSnapshot, "gpu",
+                       "snapshot SM owner is not a launched application")
+                  .detail("sm", sm->id())
+                  .detail("app", app));
+    BlockSource* source = app == kInvalidApp ? nullptr : runtimes_[app].get();
+    sm->load(r, source);
+  }
+  for (auto& part : partitions_) part->load(r);
+  req_net_.load(r);
+  resp_net_.load(r);
+}
+
+u64 Gpu::state_hash() const {
+  Hasher h;
+  write_state(h);
+  return h.digest();
+}
+
+std::vector<std::pair<std::string, u64>> Gpu::component_hashes() const {
+  std::vector<std::pair<std::string, u64>> out;
+  {
+    Hasher h;
+    h.put_u64(now_);
+    h.put_u64(last_interval_end_);
+    h.put_bool(migration_pending_);
+    for (AppId a : desired_partition_) h.put_i32(a);
+    instructions_.write_state(h);
+    sm_cycles_.write_state(h);
+    taps_.write_state(h);
+    out.emplace_back("gpu.core", h.digest());
+  }
+  for (int a = 0; a < num_apps(); ++a) {
+    out.emplace_back("app_runtime[" + std::to_string(a) + "]",
+                     state_hash_of(*runtimes_[a]));
+  }
+  for (int i = 0; i < num_sms(); ++i) {
+    Hasher h;
+    h.put_i32(sms_[i]->app());
+    sms_[i]->write_state(h);
+    out.emplace_back("sm[" + std::to_string(i) + "]", h.digest());
+  }
+  for (int p = 0; p < num_partitions(); ++p) {
+    out.emplace_back("partition[" + std::to_string(p) + "]",
+                     state_hash_of(*partitions_[p]));
+  }
+  out.emplace_back("req_net", state_hash_of(req_net_));
+  out.emplace_back("resp_net", state_hash_of(resp_net_));
+  return out;
+}
+
 }  // namespace gpusim

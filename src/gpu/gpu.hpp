@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/audit.hpp"
@@ -122,6 +123,26 @@ class Gpu {
   std::string dump_state() const;
 
   const ConservationTaps& conservation_taps() const { return taps_; }
+
+  // --- SimState ----------------------------------------------------------
+  // Serializes every run-time-evolving field of the whole GPU: clock,
+  // interval bookkeeping, partition table, app runtimes, SMs (with their
+  // owning app id, resolved back to a BlockSource on load), memory
+  // partitions and both crossbars.  Config and wiring are construction-time
+  // and excluded; the fault injector is runtime attachment and is not
+  // captured (snapshot/restore under fault injection is unsupported).
+  template <typename Sink>
+  void write_state(Sink& s) const;
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r);
+
+  /// 64-bit digest over the full write_state() field walk.
+  u64 state_hash() const;
+
+  /// Per-component digests for divergence drill-down: which subsystem's
+  /// state differs between two runs that disagree on state_hash().
+  std::vector<std::pair<std::string, u64>> component_hashes() const;
 
  private:
   void progress_migration();

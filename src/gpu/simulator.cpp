@@ -115,4 +115,93 @@ void Simulation::check_watchdog() {
                .detail("pipeline_state", gpu_.dump_state()));
 }
 
+void Simulation::save(StateWriter& w) const {
+  w.put_tag("SIM ");
+  gpu_.save(w);
+  w.put_u64(next_interval_end_);
+  w.put_u64(intervals_completed_);
+  w.put_u64(last_progress_cycle_);
+  w.put_u64(last_progress_sig_);
+  w.put_u64(observers_.size());
+  for (const IntervalObserver* obs : observers_) obs->save_state(w);
+  w.put_u64(cycle_hooks_.size());
+  for (const CycleHook* hook : cycle_hooks_) hook->save_state(w);
+}
+
+void Simulation::load(StateReader& r) {
+  r.expect_tag("SIM ");
+  gpu_.load(r);
+  next_interval_end_ = r.get_u64();
+  intervals_completed_ = r.get_u64();
+  last_progress_cycle_ = r.get_u64();
+  last_progress_sig_ = r.get_u64();
+  const u64 n_obs = r.get_u64();
+  SIM_CHECK(n_obs == observers_.size(),
+            SimError(SimErrorKind::kSnapshot, "gpu.simulation",
+                     "snapshot observer count does not match this simulation "
+                     "(register the same models before restoring)")
+                .detail("snapshot_observers", n_obs)
+                .detail("registered_observers", observers_.size()));
+  for (IntervalObserver* obs : observers_) obs->load_state(r);
+  const u64 n_hooks = r.get_u64();
+  SIM_CHECK(n_hooks == cycle_hooks_.size(),
+            SimError(SimErrorKind::kSnapshot, "gpu.simulation",
+                     "snapshot cycle-hook count does not match this "
+                     "simulation")
+                .detail("snapshot_hooks", n_hooks)
+                .detail("registered_hooks", cycle_hooks_.size()));
+  for (CycleHook* hook : cycle_hooks_) hook->load_state(r);
+}
+
+std::vector<u8> Simulation::snapshot() const {
+  StateWriter w;
+  save(w);
+  return w.take();
+}
+
+void Simulation::restore(const std::vector<u8>& bytes) {
+  StateReader r(bytes);
+  load(r);
+  r.require_end();
+}
+
+u64 Simulation::state_hash() const {
+  Hasher h;
+  h.put_tag("SIM ");
+  gpu_.hash(h);
+  h.put_u64(next_interval_end_);
+  h.put_u64(intervals_completed_);
+  h.put_u64(last_progress_cycle_);
+  h.put_u64(last_progress_sig_);
+  h.put_u64(observers_.size());
+  for (const IntervalObserver* obs : observers_) obs->hash_state(h);
+  h.put_u64(cycle_hooks_.size());
+  for (const CycleHook* hook : cycle_hooks_) hook->hash_state(h);
+  return h.digest();
+}
+
+std::vector<std::pair<std::string, u64>> Simulation::component_hashes()
+    const {
+  std::vector<std::pair<std::string, u64>> out = gpu_.component_hashes();
+  {
+    Hasher h;
+    h.put_u64(next_interval_end_);
+    h.put_u64(intervals_completed_);
+    h.put_u64(last_progress_cycle_);
+    h.put_u64(last_progress_sig_);
+    out.emplace_back("sim.intervals", h.digest());
+  }
+  for (std::size_t i = 0; i < observers_.size(); ++i) {
+    Hasher h;
+    observers_[i]->hash_state(h);
+    out.emplace_back("observer[" + std::to_string(i) + "]", h.digest());
+  }
+  for (std::size_t i = 0; i < cycle_hooks_.size(); ++i) {
+    Hasher h;
+    cycle_hooks_[i]->hash_state(h);
+    out.emplace_back("cycle_hook[" + std::to_string(i) + "]", h.digest());
+  }
+  return out;
+}
+
 }  // namespace gpusim

@@ -13,18 +13,32 @@ namespace gpusim {
 
 /// Receives the aggregated counter sample at every interval boundary.
 /// Estimation models and SM-allocation policies implement this.
+///
+/// Stateful observers override the SimState hooks so snapshot/restore
+/// captures their accumulated estimates; the defaults are no-ops for
+/// stateless observers.  Simulation::save()/load() walk observers in
+/// registration order, so a restore must register the same observers in the
+/// same order as the run that wrote the snapshot.
 class IntervalObserver {
  public:
   virtual ~IntervalObserver() = default;
   virtual void on_interval(const IntervalSample& sample, Gpu& gpu) = 0;
+
+  virtual void save_state(StateWriter&) const {}
+  virtual void load_state(StateReader&) {}
+  virtual void hash_state(Hasher&) const {}
 };
 
 /// Fired every cycle before the GPU advances; used by the MISE/ASM
-/// priority-epoch drivers.
+/// priority-epoch drivers.  Same SimState contract as IntervalObserver.
 class CycleHook {
  public:
   virtual ~CycleHook() = default;
   virtual void on_cycle(Cycle now, Gpu& gpu) = 0;
+
+  virtual void save_state(StateWriter&) const {}
+  virtual void load_state(StateReader&) {}
+  virtual void hash_state(Hasher&) const {}
 };
 
 class Simulation {
@@ -68,6 +82,30 @@ class Simulation {
   void run_until_instructions(AppId app, u64 target, Cycle max_cycles);
 
   u64 intervals_completed() const { return intervals_completed_; }
+
+  // --- SimState ----------------------------------------------------------
+  // snapshot()/restore() capture the complete simulation: the GPU plus the
+  // interval/watchdog bookkeeping plus every registered observer and cycle
+  // hook (in registration order).  watchdog_cycles_ and fast_forward_ are
+  // caller configuration, not simulated state: a restore keeps whatever the
+  // restoring caller configured, and fast-forward on/off cannot change
+  // simulated output by construction.
+  void save(StateWriter& w) const;
+  void load(StateReader& r);
+
+  /// Serializes the full simulation into a byte buffer.
+  std::vector<u8> snapshot() const;
+  /// Restores from a buffer produced by snapshot() on an identically
+  /// configured simulation (same config, launches, observers, hooks).
+  void restore(const std::vector<u8>& bytes);
+
+  /// 64-bit digest of the complete simulation state (GPU + observers +
+  /// interval bookkeeping) — the unit of divergence detection.
+  u64 state_hash() const;
+
+  /// Per-component digests: the Gpu's components plus one entry per
+  /// registered observer/hook and the interval bookkeeping.
+  std::vector<std::pair<std::string, u64>> component_hashes() const;
 
  private:
   void maybe_fire_interval();

@@ -1,0 +1,65 @@
+// SimState snapshot files: versioned, self-validating, atomically published.
+//
+// File layout (all fields little-endian, written via StateWriter):
+//
+//   magic        8 bytes  "GPUSIMSS"
+//   version      u32      kSnapshotVersion
+//   endianness   u32      0x01020304 (byte order probe)
+//   fingerprint  u64      hash of config + workload + harness context
+//   cycle        u64      gpu.now() at save time
+//   state_hash   u64      Simulation::state_hash() at save time
+//   payload_size u64
+//   payload_hash u64      digest over the raw payload bytes
+//   payload      bytes    Simulation::snapshot()
+//
+// Forward-compat policy: the version is bumped on ANY payload layout change
+// and old versions are rejected — a cycle-accurate snapshot is only
+// meaningful against the exact component layout that wrote it, so there is
+// deliberately no cross-version migration.  The fingerprint rejects a
+// restore into a different config/workload/harness; payload_hash rejects
+// torn or corrupted files; after loading, the recomputed state hash is
+// checked against the stored one, which catches save/load asymmetry bugs in
+// any component.  Files are published via write-to-temp + rename, so a
+// crash mid-write can never destroy the previous good snapshot.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "gpu/simulator.hpp"
+
+namespace gpusim {
+
+inline constexpr u32 kSnapshotVersion = 1;
+
+struct SnapshotHeader {
+  u32 version = 0;
+  u64 fingerprint = 0;
+  Cycle cycle = 0;
+  u64 state_hash = 0;
+  u64 payload_size = 0;
+  u64 payload_hash = 0;
+};
+
+/// Fingerprint of everything a snapshot is only valid against: the full
+/// GpuConfig plus, per application, the kernel profile, seed and restart
+/// flag.  `harness_context` lets the caller mix in its own setup (attached
+/// models, policy, planned run length) so a snapshot cannot be restored
+/// into a differently assembled experiment.
+u64 simulation_fingerprint(const Simulation& sim, u64 harness_context = 0);
+
+/// Serializes `sim` and atomically publishes it at `path`.
+/// Throws SimError(kSnapshot) on I/O failure.
+void write_snapshot_file(const std::string& path, const Simulation& sim,
+                         u64 fingerprint);
+
+/// Parses and validates only the header (magic/version/endianness).
+SnapshotHeader read_snapshot_header(const std::string& path);
+
+/// Restores `sim` from `path`, validating magic, version, endianness,
+/// fingerprint, payload integrity, and — after loading — that the
+/// recomputed state hash matches the stored one.  Returns the header.
+SnapshotHeader restore_snapshot_file(const std::string& path, Simulation& sim,
+                                     u64 fingerprint);
+
+}  // namespace gpusim

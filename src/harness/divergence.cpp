@@ -1,0 +1,93 @@
+#include "harness/divergence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/sim_error.hpp"
+
+namespace gpusim {
+
+std::string DivergenceReport::to_string() const {
+  std::ostringstream out;
+  if (!diverged) {
+    out << "no divergence across " << samples_checked << " sample points";
+    return out.str();
+  }
+  out << "DIVERGENCE at cycle " << first_divergent_cycle << ": state hash "
+      << std::hex << hash_a << " (run A) vs " << hash_b << " (run B)"
+      << std::dec << "\n";
+  if (component_mismatches.empty()) {
+    out << "  (no individual component differs — top-level walk mismatch)\n";
+  }
+  for (const ComponentMismatch& m : component_mismatches) {
+    out << "  component " << m.name << ": " << std::hex << m.hash_a << " vs "
+        << m.hash_b << std::dec << "\n";
+  }
+  out << "--- run A pipeline state ---\n"
+      << dump_a << "--- run B pipeline state ---\n"
+      << dump_b;
+  return out.str();
+}
+
+DivergenceReport audit_divergence(Simulation& a, Simulation& b,
+                                  Cycle total_cycles, Cycle sample_every) {
+  SIM_CHECK(sample_every > 0,
+            SimError(SimErrorKind::kHarness, "harness.divergence",
+                     "sample_every must be positive")
+                .detail("sample_every", sample_every));
+  SIM_CHECK(a.gpu().now() == b.gpu().now(),
+            SimError(SimErrorKind::kHarness, "harness.divergence",
+                     "both simulations must start at the same cycle")
+                .detail("cycle_a", a.gpu().now())
+                .detail("cycle_b", b.gpu().now()));
+
+  DivergenceReport report;
+  const Cycle start = a.gpu().now();
+  Cycle advanced = 0;
+
+  auto check = [&]() -> bool {
+    ++report.samples_checked;
+    const u64 ha = a.state_hash();
+    const u64 hb = b.state_hash();
+    if (ha == hb) return true;
+    report.diverged = true;
+    report.first_divergent_cycle = a.gpu().now();
+    report.hash_a = ha;
+    report.hash_b = hb;
+    const auto comps_a = a.component_hashes();
+    const auto comps_b = b.component_hashes();
+    // Registration order is identical on both sides whenever the two runs
+    // are comparable at all, so pair up by index but match names
+    // defensively in case one side carries extra observers.
+    const std::size_t n = std::min(comps_a.size(), comps_b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (comps_a[i].first == comps_b[i].first &&
+          comps_a[i].second != comps_b[i].second) {
+        report.component_mismatches.push_back(
+            {comps_a[i].first, comps_a[i].second, comps_b[i].second});
+      }
+    }
+    report.dump_a = a.gpu().dump_state();
+    report.dump_b = b.gpu().dump_state();
+    return false;
+  };
+
+  // Compare the starting state first: a bad restore diverges at cycle 0.
+  if (!check()) return report;
+
+  while (advanced < total_cycles) {
+    const Cycle stride = std::min(sample_every, total_cycles - advanced);
+    a.run(stride);
+    b.run(stride);
+    advanced = a.gpu().now() - start;
+    SIM_CHECK(a.gpu().now() == b.gpu().now(),
+              SimError(SimErrorKind::kHarness, "harness.divergence",
+                       "simulations fell out of cycle lockstep")
+                  .detail("cycle_a", a.gpu().now())
+                  .detail("cycle_b", b.gpu().now()));
+    if (!check()) return report;
+  }
+  return report;
+}
+
+}  // namespace gpusim

@@ -1,24 +1,70 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "baselines/asm_model.hpp"
 #include "baselines/mise_model.hpp"
 #include "baselines/priority_epochs.hpp"
 #include "common/sim_error.hpp"
+#include "common/simstate.hpp"
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
+#include "gpu/snapshot.hpp"
 #include "metrics/metrics.hpp"
 #include "sched/dase_fair.hpp"
 #include "sched/policies.hpp"
 
 namespace gpusim {
 
+u64 harness_app_seed(u64 base_seed, int slot) {
+  return base_seed + static_cast<u64>(slot) * 7919;
+}
+
 namespace {
 
 u64 app_seed(u64 base_seed, int slot) {
-  return base_seed + static_cast<u64>(slot) * 7919;
+  return harness_app_seed(base_seed, slot);
+}
+
+/// Everything about the *harness* side of an experiment that a snapshot is
+/// only valid against: the run length and seed plus the attached models,
+/// policy and SM split (which all shape the observer list and partition).
+/// Mixed into the snapshot-file fingerprint alongside config + workload.
+u64 harness_context_of(const RunConfig& rc, const ModelSet& models,
+                       PolicyKind policy, const std::vector<int>* sm_split) {
+  Hasher h;
+  h.put_tag("HCTX");
+  h.put_u64(rc.co_run_cycles);
+  h.put_u64(rc.base_seed);
+  h.put_bool(models.dase);
+  h.put_bool(models.mise);
+  h.put_bool(models.asm_model);
+  h.put_i32(static_cast<i32>(policy));
+  h.put_bool(sm_split != nullptr);
+  if (sm_split != nullptr) {
+    h.put_u64(sm_split->size());
+    for (int v : *sm_split) h.put_i32(v);
+  }
+  return h.digest();
+}
+
+/// Snapshot file for one workload: "<dir>/<label>.simstate" with every
+/// character a filesystem might dislike replaced by '_'.
+std::string snapshot_path_for(const std::string& dir,
+                              const std::string& label) {
+  std::string name;
+  name.reserve(label.size());
+  for (char c : label) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '-' || c == '_' || c == '.' || c == '+';
+    name += safe ? c : '_';
+  }
+  return (std::filesystem::path(dir) / (name + ".simstate")).string();
 }
 
 }  // namespace
@@ -197,7 +243,72 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
     sim.add_cycle_hook(temporal.get());
   }
 
-  sim.run(rc_.co_run_cycles);
+  // --- Co-run, with optional SimState checkpointing --------------------
+  const bool snapshotting = rc_.snapshot_every > 0;
+  const bool restoring = !rc_.restore_path.empty();
+  std::string snap_path;
+  u64 fingerprint = 0;
+  if (snapshotting || restoring) {
+    SIM_CHECK(!rc_.faults.any(),
+              SimError(SimErrorKind::kHarness, "harness.runner",
+                       "snapshot/restore is incompatible with fault "
+                       "injection — the injector draws from wall-clock call "
+                       "order, which a restore cannot reproduce")
+                  .detail("workload", workload.label()));
+    fingerprint = simulation_fingerprint(
+        sim, harness_context_of(rc_, models, policy, sm_split));
+  }
+  if (restoring) {
+    // Explicit restore: the caller named this exact file, so any failure
+    // (missing, corrupt, mismatched fingerprint) is fatal.
+    const SnapshotHeader hdr =
+        restore_snapshot_file(rc_.restore_path, sim, fingerprint);
+    std::fprintf(stderr, "gpusim: restored %s from %s at cycle %llu\n",
+                 workload.label().c_str(), rc_.restore_path.c_str(),
+                 static_cast<unsigned long long>(hdr.cycle));
+  }
+  if (snapshotting) {
+    std::error_code ec;
+    std::filesystem::create_directories(rc_.snapshot_dir, ec);
+    snap_path = snapshot_path_for(rc_.snapshot_dir, workload.label());
+    if (!restoring && std::filesystem::exists(snap_path)) {
+      // Auto-resume: a leftover file from a killed run.  Stale files
+      // (different config/workload/harness, torn writes) are detected
+      // before any state is loaded, so they can be skipped safely; a
+      // failure *after* loading means save/load asymmetry — a bug — and
+      // the partially loaded simulation must not keep running.
+      try {
+        const SnapshotHeader hdr =
+            restore_snapshot_file(snap_path, sim, fingerprint);
+        std::fprintf(stderr,
+                     "gpusim: resumed %s from snapshot %s at cycle %llu\n",
+                     workload.label().c_str(), snap_path.c_str(),
+                     static_cast<unsigned long long>(hdr.cycle));
+      } catch (const SimError& e) {
+        if (gpu.now() != 0) throw;
+        std::fprintf(stderr,
+                     "gpusim: ignoring unusable snapshot %s (%s)\n",
+                     snap_path.c_str(), e.what());
+      }
+    }
+  }
+
+  if (!snapshotting) {
+    if (gpu.now() < rc_.co_run_cycles) sim.run(rc_.co_run_cycles - gpu.now());
+  } else {
+    while (gpu.now() < rc_.co_run_cycles) {
+      const Cycle stride =
+          std::min<Cycle>(rc_.snapshot_every, rc_.co_run_cycles - gpu.now());
+      sim.run(stride);
+      // No snapshot after the final stride: the result is about to be
+      // reported and the resume point deleted anyway.
+      if (gpu.now() < rc_.co_run_cycles) {
+        write_snapshot_file(snap_path, sim, fingerprint);
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(snap_path, ec);
+  }
   // Injected faults intentionally break conservation; the auditor is the
   // mechanism tests use to detect them, so only a clean run self-audits.
   if (rc_.verify_conservation && !rc_.faults.any()) {

@@ -54,6 +54,22 @@ struct RunConfig {
   /// SimGuard: faults to inject into the co-run (off by default; used by
   /// tests and the CLI to exercise the watchdog and auditor).
   FaultPlan faults;
+
+  // ---- SimState checkpointing (see gpu/snapshot.hpp) ----
+  /// Snapshot the co-run every this many cycles (0 disables).  Each
+  /// workload writes one "<label>.simstate" file into `snapshot_dir`; when
+  /// that file already exists at run() entry with a matching fingerprint,
+  /// the co-run resumes from it mid-simulation (so a killed process picks
+  /// up where it died), and the file is deleted once the co-run
+  /// completes.  A stale or mismatched file is skipped with a warning.
+  /// Incompatible with fault injection (the injector's RNG is driven by
+  /// wall-clock call order, not simulated state).
+  Cycle snapshot_every = 0;
+  /// Directory for auto-resume snapshot files (created if missing).
+  std::string snapshot_dir = ".";
+  /// Restore the co-run from this exact snapshot file before running
+  /// (single-run use; unlike auto-resume, any restore failure is fatal).
+  std::string restore_path;
 };
 
 struct ModelSet {
@@ -136,5 +152,10 @@ class ExperimentRunner {
 
 /// Reads an environment variable as cycles, falling back to `fallback`.
 Cycle cycles_from_env(const char* name, Cycle fallback);
+
+/// Seed the harness hands application slot `slot` of a workload.  Exposed
+/// so tools building bare Simulations (the determinism auditor, tests) use
+/// the exact seeds an ExperimentRunner co-run would.
+u64 harness_app_seed(u64 base_seed, int slot);
 
 }  // namespace gpusim

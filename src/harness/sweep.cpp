@@ -70,23 +70,43 @@ struct CheckpointEntry {
 
 /// Parses the JSONL checkpoint.  The format is our own append-only output,
 /// so field extraction by position is exact, not heuristic; unparseable
-/// lines (e.g. a torn final line from a crash mid-write) are skipped and
-/// their pair simply re-runs.  The last line for a label wins.
+/// lines (e.g. a torn final line from a crash mid-write) are skipped with a
+/// stderr warning and counted in `torn_lines` — their pair simply re-runs.
+/// The last line for a label wins.
 std::map<std::string, CheckpointEntry> load_checkpoint(
-    const std::string& path) {
+    const std::string& path, int& torn_lines) {
   std::map<std::string, CheckpointEntry> entries;
   std::ifstream in(path);
   if (!in) return entries;
   std::string line;
+  int line_no = 0;
+  auto warn_torn = [&](const char* why) {
+    ++torn_lines;
+    std::fprintf(stderr,
+                 "gpusim: sweep checkpoint %s line %d is %s — skipping it; "
+                 "the affected pair will re-run\n",
+                 path.c_str(), line_no, why);
+  };
   while (std::getline(in, line)) {
-    if (line.empty() || line.back() != '}') continue;
+    ++line_no;
+    if (line.empty()) continue;  // seal_torn_tail padding, harmless
+    if (line.back() != '}') {
+      warn_torn("truncated (crash mid-write?)");
+      continue;
+    }
     const std::string label = extract_string_field(line, "label");
-    if (label.empty()) continue;
+    if (label.empty()) {
+      warn_torn("missing its label");
+      continue;
+    }
     CheckpointEntry entry;
     entry.ok = line.find("\"ok\":true") != std::string::npos;
     if (entry.ok) {
       const auto pos = line.find("\"result\":");
-      if (pos == std::string::npos) continue;
+      if (pos == std::string::npos) {
+        warn_torn("marked ok but has no result");
+        continue;
+      }
       entry.result_json =
           line.substr(pos + 9, line.size() - (pos + 9) - 1);
     } else {
@@ -197,11 +217,12 @@ std::vector<SweepEntry> SweepRunner::run(
     const std::vector<Workload>& workloads) {
   resumed_ = 0;
   attempts_spent_ = 0;
+  torn_lines_skipped_ = 0;
 
   std::map<std::string, CheckpointEntry> done;
   std::ofstream checkpoint;
   if (!opts_.checkpoint_path.empty()) {
-    done = load_checkpoint(opts_.checkpoint_path);
+    done = load_checkpoint(opts_.checkpoint_path, torn_lines_skipped_);
     // A crash mid-write leaves a torn final line with no trailing newline.
     // Appending straight after it would glue our first new line onto the
     // fragment, and a later resume would then mis-parse the combined line

@@ -99,6 +99,10 @@ class SweepRunner {
   int resumed() const { return resumed_; }
   /// Total attempts spent across all pairs in the last run().
   int attempts_spent() const { return attempts_spent_; }
+  /// Torn/unparseable checkpoint lines skipped (with a stderr warning)
+  /// while resuming the last run() — e.g. a line truncated by a crash
+  /// mid-write.  The affected pairs re-run.
+  int torn_lines_skipped() const { return torn_lines_skipped_; }
 
   /// Writes the final results file: a JSON array of the per-pair result
   /// objects in entry order (failed pairs appear as {"label":…,"failed":
@@ -123,6 +127,7 @@ class SweepRunner {
   RunFnFactory factory_;
   int resumed_ = 0;
   int attempts_spent_ = 0;
+  int torn_lines_skipped_ = 0;
 };
 
 }  // namespace gpusim

@@ -116,6 +116,19 @@ class AddressStream {
     }
   }
 
+  // SimState: the RNG is the only run-time-evolving member — every other
+  // field is a pure function of (profile, app, app_seed) or the block_
+  // wiring pointer, all re-supplied at reconstruction.  A restored stream is
+  // rebuilt via the constructor (any warp_in_block; it only perturbs the
+  // seed) and then overwritten with the saved engine state.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    rng_.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) { rng_.load(r); }
+
   /// Draws the compute-run length preceding the next memory instruction:
   /// uniform in [0.5*mean, 1.5*mean] around the profile's mean run.
   u64 next_compute_run() {

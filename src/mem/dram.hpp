@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/simstate.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -41,6 +42,22 @@ struct DramCmd {
   Cycle enqueued = 0;
 };
 
+template <typename Sink>
+void write_item(Sink& s, const DramCmd& c) {
+  s.put_u64(c.line_addr);
+  s.put_i32(c.app);
+  s.put_i32(c.bank);
+  s.put_u64(c.row);
+  s.put_u64(c.enqueued);
+}
+inline void read_item(StateReader& r, DramCmd& c) {
+  c.line_addr = r.get_u64();
+  c.app = r.get_i32();
+  c.bank = r.get_i32();
+  c.row = r.get_u64();
+  c.enqueued = r.get_u64();
+}
+
 /// Scalar counter with interval-snapshot semantics.
 class SnapCounter {
  public:
@@ -49,6 +66,18 @@ class SnapCounter {
   u64 interval() const { return total_ - snap_; }
   void snapshot() { snap_ = total_; }
   void reset() { total_ = snap_ = 0; }
+
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_u64(total_);
+    s.put_u64(snap_);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    total_ = r.get_u64();
+    snap_ = r.get_u64();
+  }
 
  private:
   u64 total_ = 0;
@@ -75,6 +104,44 @@ struct McCounters {
   PerAppCounter priority_cycles;  ///< cycles the app held priority
   PerAppCounter nonpriority_served;  ///< requests served with no priority set
   SnapCounter nonpriority_cycles;    ///< cycles with no priority app
+
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    blp_occupancy_int.write_state(s);
+    blp_access_int.write_state(s);
+    blp_time.write_state(s);
+    erb_miss.write_state(s);
+    requests_served.write_state(s);
+    bank_service_time.write_state(s);
+    row_hits.write_state(s);
+    row_misses.write_state(s);
+    bus_data_cycles.write_state(s);
+    wasted_cycles.write_state(s);
+    idle_cycles.write_state(s);
+    priority_served.write_state(s);
+    priority_cycles.write_state(s);
+    nonpriority_served.write_state(s);
+    nonpriority_cycles.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    blp_occupancy_int.load(r);
+    blp_access_int.load(r);
+    blp_time.load(r);
+    erb_miss.load(r);
+    requests_served.load(r);
+    bank_service_time.load(r);
+    row_hits.load(r);
+    row_misses.load(r);
+    bus_data_cycles.load(r);
+    wasted_cycles.load(r);
+    idle_cycles.load(r);
+    priority_served.load(r);
+    priority_cycles.load(r);
+    nonpriority_served.load(r);
+    nonpriority_cycles.load(r);
+  }
 
   void snapshot_all() {
     blp_occupancy_int.snapshot();
@@ -179,6 +246,99 @@ class MemoryController {
   /// while quiet_at(now) holds for every cycle in [now, now + n) — i.e.
   /// `now + n <= next_event_after(now)`.
   void skip_cycles(Cycle now, Cycle n);
+
+  // SimState: banks, queues, in-flight pipeline, bus timing, occupancy
+  // bookkeeping, last-row registers, counters.  Config/timings/geometry are
+  // construction-time and excluded.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("DRAM");
+    for (const Bank& b : banks_) {
+      s.put_bool(b.row_open);
+      s.put_u64(b.open_row);
+      s.put_bool(b.preparing);
+      write_item(s, b.pending);
+      s.put_u64(b.prep_done);
+      s.put_u64(b.prep_issue_start);
+    }
+    s.put_i32(preparing_count_);
+    s.put_u64(queue_.size());
+    for (const DramCmd& c : queue_) write_item(s, c);
+    auto put_inflight = [&s](const std::deque<InFlight>& dq) {
+      s.put_u64(dq.size());
+      for (const InFlight& f : dq) {
+        s.put_u64(f.complete_at);
+        s.put_u64(f.issue_start);
+        s.put_bool(f.row_hit);
+        write_item(s, f.cmd);
+      }
+    };
+    put_inflight(bus_ready_);
+    put_inflight(inflight_);
+    s.put_i32(priority_app_);
+    s.put_u64(bus_free_at_);
+    for (u32 v : queued_mask_) s.put_u32(v);
+    for (u32 v : exec_mask_) s.put_u32(v);
+    for (int v : outstanding_) s.put_i32(v);
+    for (const auto& per_bank : queued_per_bank_app_) {
+      for (u16 v : per_bank) s.put_u32(v);
+    }
+    for (const auto& per_bank : exec_per_bank_app_) {
+      for (u16 v : per_bank) s.put_u32(v);
+    }
+    for (u64 v : last_row_) s.put_u64(v);
+    for (u32 v : last_row_valid_) s.put_u32(v);
+    counters_.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("DRAM");
+    for (Bank& b : banks_) {
+      b.row_open = r.get_bool();
+      b.open_row = r.get_u64();
+      b.preparing = r.get_bool();
+      read_item(r, b.pending);
+      b.prep_done = r.get_u64();
+      b.prep_issue_start = r.get_u64();
+    }
+    preparing_count_ = r.get_i32();
+    queue_.clear();
+    const u64 qn = r.get_count(static_cast<u64>(queue_capacity_), "dram queue");
+    for (u64 i = 0; i < qn; ++i) {
+      DramCmd c;
+      read_item(r, c);
+      queue_.push_back(c);
+    }
+    auto get_inflight = [&r](std::deque<InFlight>& dq) {
+      dq.clear();
+      const u64 n = r.get_count(1u << 16, "dram inflight");
+      for (u64 i = 0; i < n; ++i) {
+        InFlight f;
+        f.complete_at = r.get_u64();
+        f.issue_start = r.get_u64();
+        f.row_hit = r.get_bool();
+        read_item(r, f.cmd);
+        dq.push_back(f);
+      }
+    };
+    get_inflight(bus_ready_);
+    get_inflight(inflight_);
+    priority_app_ = r.get_i32();
+    bus_free_at_ = r.get_u64();
+    for (u32& v : queued_mask_) v = r.get_u32();
+    for (u32& v : exec_mask_) v = r.get_u32();
+    for (int& v : outstanding_) v = r.get_i32();
+    for (auto& per_bank : queued_per_bank_app_) {
+      for (u16& v : per_bank) v = static_cast<u16>(r.get_u32());
+    }
+    for (auto& per_bank : exec_per_bank_app_) {
+      for (u16& v : per_bank) v = static_cast<u16>(r.get_u32());
+    }
+    for (u64& v : last_row_) v = r.get_u64();
+    for (u32& v : last_row_valid_) v = r.get_u32();
+    counters_.load(r);
+  }
 
  private:
   /// A bank is only *occupied* while preparing a row (precharge +

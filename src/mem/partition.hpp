@@ -43,6 +43,24 @@ struct PartitionCounters {
     l2_accesses_priority.snapshot();
     l2_accesses_nonpriority.snapshot();
   }
+
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    l2_accesses.write_state(s);
+    l2_hits.write_state(s);
+    atd_extra_miss_samples.write_state(s);
+    l2_accesses_priority.write_state(s);
+    l2_accesses_nonpriority.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    l2_accesses.load(r);
+    l2_hits.load(r);
+    atd_extra_miss_samples.load(r);
+    l2_accesses_priority.load(r);
+    l2_accesses_nonpriority.load(r);
+  }
 };
 
 class MemoryPartition {
@@ -123,6 +141,48 @@ class MemoryPartition {
     }
     if (!in_queue.empty()) next = std::min(next, in_queue.front().ready);
     return next;
+  }
+
+  // SimState: the full partition pipeline.  completed_scratch_ is cleared at
+  // the top of every cycle() and is dead between cycles; taps_/injector_ are
+  // runtime wiring owned by the Gpu.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("PART");
+    l2_.write_state(s);
+    mshr_.write_state(s);
+    for (const auto& atd : atds_) atd->write_state(s);
+    mc_.write_state(s);
+    resp_queue_.write_state(s);
+    auto put_resps = [&s](const std::deque<MemResponsePacket>& dq) {
+      s.put_u64(dq.size());
+      for (const MemResponsePacket& p : dq) write_item(s, p);
+    };
+    put_resps(pending_hits_);
+    put_resps(deferred_resps_);
+    counters_.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("PART");
+    l2_.load(r);
+    mshr_.load(r);
+    for (auto& atd : atds_) atd->load(r);
+    mc_.load(r);
+    resp_queue_.load(r);
+    auto get_resps = [&r](std::deque<MemResponsePacket>& dq, const char* what) {
+      dq.clear();
+      const u64 n = r.get_count(1u << 20, what);
+      for (u64 i = 0; i < n; ++i) {
+        MemResponsePacket p;
+        read_item(r, p);
+        dq.push_back(p);
+      }
+    };
+    get_resps(pending_hits_, "partition pending hits");
+    get_resps(deferred_resps_, "partition deferred responses");
+    counters_.load(r);
   }
 
  private:

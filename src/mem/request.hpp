@@ -2,6 +2,7 @@
 // and the memory partitions.
 #pragma once
 
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
@@ -26,5 +27,42 @@ struct MemResponsePacket {
   WarpId warp = -1;
   Cycle ready = 0;
 };
+
+// SimState element serialization (ADL hooks used by BoundedQueue,
+// CrossbarChannel and the deque helpers in simstate-aware components).
+
+template <typename Sink>
+void write_item(Sink& s, const MemRequestPacket& p) {
+  s.put_u64(p.line_addr);
+  s.put_i32(p.app);
+  s.put_i32(p.sm);
+  s.put_i32(p.warp);
+  s.put_i32(p.dest);
+  s.put_u64(p.ready);
+}
+inline void read_item(StateReader& r, MemRequestPacket& p) {
+  p.line_addr = r.get_u64();
+  p.app = r.get_i32();
+  p.sm = r.get_i32();
+  p.warp = r.get_i32();
+  p.dest = r.get_i32();
+  p.ready = r.get_u64();
+}
+
+template <typename Sink>
+void write_item(Sink& s, const MemResponsePacket& p) {
+  s.put_u64(p.line_addr);
+  s.put_i32(p.app);
+  s.put_i32(p.sm);
+  s.put_i32(p.warp);
+  s.put_u64(p.ready);
+}
+inline void read_item(StateReader& r, MemResponsePacket& p) {
+  p.line_addr = r.get_u64();
+  p.app = r.get_i32();
+  p.sm = r.get_i32();
+  p.warp = r.get_i32();
+  p.ready = r.get_u64();
+}
 
 }  // namespace gpusim

@@ -94,6 +94,23 @@ class CrossbarChannel {
     return true;
   }
 
+  // SimState: destination FIFOs and round-robin pointers.  source_sent_ is
+  // scratch that transfer() refills from scratch every cycle, so it is dead
+  // at any between-cycles snapshot boundary and deliberately excluded.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("XBAR");
+    for (const auto& q : dest_queues_) q.write_state(s);
+    for (int v : rr_) s.put_i32(v);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("XBAR");
+    for (auto& q : dest_queues_) q.load(r);
+    for (int& v : rr_) v = r.get_i32();
+  }
+
  private:
   Cycle latency_;
   int accepts_per_cycle_;

@@ -56,7 +56,22 @@ class DaseFairPolicy final : public IntervalObserver {
       const std::vector<int>& assigned, int total, int min_per_app,
       double* best_unfairness_out = nullptr);
 
+  void save_state(StateWriter& w) const override { write_obs_state(w); }
+  void hash_state(Hasher& h) const override { write_obs_state(h); }
+  void load_state(StateReader& r) override {
+    r.expect_tag("FAIR");
+    intervals_seen_ = r.get_i32();
+    repartitions_ = r.get_u64();
+  }
+
  private:
+  template <typename Sink>
+  void write_obs_state(Sink& s) const {
+    s.put_tag("FAIR");
+    s.put_i32(intervals_seen_);
+    s.put_u64(repartitions_);
+  }
+
   std::vector<AppId> build_assignment(Gpu& gpu,
                                       const std::vector<int>& counts) const;
 

@@ -52,7 +52,26 @@ class TemporalPolicy final : public CycleHook {
 
   u64 switches() const { return switches_; }
 
+  void save_state(StateWriter& w) const override { write_hook_state(w); }
+  void hash_state(Hasher& h) const override { write_hook_state(h); }
+  void load_state(StateReader& r) override {
+    r.expect_tag("TMPL");
+    current_ = r.get_i32();
+    next_switch_ = r.get_u64();
+    started_ = r.get_bool();
+    switches_ = r.get_u64();
+  }
+
  private:
+  template <typename Sink>
+  void write_hook_state(Sink& s) const {
+    s.put_tag("TMPL");
+    s.put_i32(current_);
+    s.put_u64(next_switch_);
+    s.put_bool(started_);
+    s.put_u64(switches_);
+  }
+
   TemporalOptions options_;
   AppId current_ = 0;
   Cycle next_switch_ = 0;
@@ -79,7 +98,22 @@ class DaseQosPolicy final : public IntervalObserver {
 
   u64 adjustments() const { return adjustments_; }
 
+  void save_state(StateWriter& w) const override { write_obs_state(w); }
+  void hash_state(Hasher& h) const override { write_obs_state(h); }
+  void load_state(StateReader& r) override {
+    r.expect_tag("QOSP");
+    intervals_seen_ = r.get_i32();
+    adjustments_ = r.get_u64();
+  }
+
  private:
+  template <typename Sink>
+  void write_obs_state(Sink& s) const {
+    s.put_tag("QOSP");
+    s.put_i32(intervals_seen_);
+    s.put_u64(adjustments_);
+  }
+
   DaseModel* model_;
   DaseQosOptions options_;
   int intervals_seen_ = 0;

@@ -298,6 +298,70 @@ void SmCore::retire_warp(WarpId warp_id) {
   }
 }
 
+void SmCore::load(StateReader& r, BlockSource* source) {
+  source_ = source;
+  r.expect_tag("SMCR");
+  draining_ = r.get_bool();
+  last_issued_ = r.get_i32();
+  ready_warps_ = r.get_i32();
+  for (BlockSlot& b : blocks_) {
+    b.active = r.get_bool();
+    b.block_index = r.get_u64();
+    b.warps_remaining = r.get_i32();
+    b.stream.base_line = r.get_u64();
+    b.stream.cursor = r.get_u64();
+  }
+  for (WarpCtx& w : warps_) {
+    w.stream.reset();
+    const u8 state = r.get_u8();
+    SIM_CHECK(state <= static_cast<u8>(WarpCtx::State::kDone),
+              SimError(SimErrorKind::kSnapshot, "sm.core",
+                       "corrupt warp state in snapshot")
+                  .detail("sm", id_)
+                  .detail("state", static_cast<int>(state)));
+    w.state = static_cast<WarpCtx::State>(state);
+    w.instrs_done = r.get_u64();
+    w.budget = r.get_u64();
+    w.compute_remaining = r.get_u64();
+    w.outstanding = r.get_i32();
+    w.block_slot = r.get_i32();
+    if (r.get_bool()) {
+      // Reconstruct the stream against the freshly restored block cursor,
+      // then overwrite its RNG with the saved engine state (warp_in_block
+      // only perturbs the constructor seed, so 0 is fine here).
+      SIM_CHECK(source_ != nullptr && w.block_slot >= 0 &&
+                    w.block_slot < static_cast<int>(blocks_.size()),
+                SimError(SimErrorKind::kSnapshot, "sm.core",
+                         "warp stream without a resolvable block source")
+                    .detail("sm", id_)
+                    .detail("block_slot", w.block_slot));
+      BlockSlot& b = blocks_[w.block_slot];
+      w.stream.emplace(&source_->profile(), source_->app(),
+                       source_->app_seed(), b.block_index, 0, &b.stream);
+      w.stream->load(r);
+    }
+  }
+  pending_txns_.clear();
+  const u64 txns = r.get_count(1u << 20, "sm pending txns");
+  for (u64 i = 0; i < txns; ++i) {
+    PendingTxn t{};
+    t.warp = r.get_i32();
+    t.addr = r.get_u64();
+    pending_txns_.push_back(t);
+  }
+  local_hits_.clear();
+  const u64 hits = r.get_count(1u << 20, "sm local hits");
+  for (u64 i = 0; i < hits; ++i) {
+    const Cycle ready = r.get_u64();
+    const WarpId warp = r.get_i32();
+    local_hits_.emplace_back(ready, warp);
+  }
+  l1_.load(r);
+  l1_mshr_.load(r);
+  out_queue_.load(r);
+  counters_.load(r);
+}
+
 void SmCore::receive(const MemResponsePacket& resp) {
   l1_.fill(resp.line_addr, resp.app);
   for (const MshrWaiter& w : l1_mshr_.release(resp.line_addr)) {

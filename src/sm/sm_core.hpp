@@ -39,6 +39,28 @@ struct SmCounters {
   SnapCounter l1_accesses;
   SnapCounter l1_hits;
 
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    instructions.write_state(s);
+    mem_stall_cycles.write_state(s);
+    issue_cycles.write_state(s);
+    idle_cycles.write_state(s);
+    mem_instructions.write_state(s);
+    l1_accesses.write_state(s);
+    l1_hits.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    instructions.load(r);
+    mem_stall_cycles.load(r);
+    issue_cycles.load(r);
+    idle_cycles.load(r);
+    mem_instructions.load(r);
+    l1_accesses.load(r);
+    l1_hits.load(r);
+  }
+
   void snapshot_all() {
     instructions.snapshot();
     mem_stall_cycles.snapshot();
@@ -149,6 +171,56 @@ class SmCore {
   /// Resident thread blocks currently executing (TB_shared of Eq. 24).
   int active_blocks() const;
   int live_warps() const;
+
+  // --- SimState ----------------------------------------------------------
+  // The caller (Gpu) serializes which application this SM is assigned to
+  // and passes the resolved BlockSource back into load(); everything else —
+  // warps, blocks, pipeline queues, L1, MSHR, counters — round-trips here.
+  // Warp AddressStreams are reconstructed from (profile, app, seed, block)
+  // and then overwritten with their saved RNG state; blocks_ must therefore
+  // be restored before warps_ (each stream points at its block's shared
+  // cursor).  addr_scratch_ is per-instruction scratch, dead between cycles.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("SMCR");
+    s.put_bool(draining_);
+    s.put_i32(last_issued_);
+    s.put_i32(ready_warps_);
+    for (const BlockSlot& b : blocks_) {
+      s.put_bool(b.active);
+      s.put_u64(b.block_index);
+      s.put_i32(b.warps_remaining);
+      s.put_u64(b.stream.base_line);
+      s.put_u64(b.stream.cursor);
+    }
+    for (const WarpCtx& w : warps_) {
+      s.put_u8(static_cast<u8>(w.state));
+      s.put_u64(w.instrs_done);
+      s.put_u64(w.budget);
+      s.put_u64(w.compute_remaining);
+      s.put_i32(w.outstanding);
+      s.put_i32(w.block_slot);
+      s.put_bool(w.stream.has_value());
+      if (w.stream.has_value()) w.stream->write_state(s);
+    }
+    s.put_u64(pending_txns_.size());
+    for (const PendingTxn& t : pending_txns_) {
+      s.put_i32(t.warp);
+      s.put_u64(t.addr);
+    }
+    s.put_u64(local_hits_.size());
+    for (const auto& [ready, warp] : local_hits_) {
+      s.put_u64(ready);
+      s.put_i32(warp);
+    }
+    l1_.write_state(s);
+    l1_mshr_.write_state(s);
+    out_queue_.write_state(s);
+    counters_.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r, BlockSource* source);
 
  private:
   struct WarpCtx {

@@ -268,6 +268,26 @@ TEST(SweepRunnerTest, TornCheckpointLineIsIgnored) {
   EXPECT_EQ(calls, 1);  // the torn pair re-ran, the complete one did not
   EXPECT_TRUE(entries[0].from_checkpoint);
   EXPECT_TRUE(entries[1].ok);
+  EXPECT_EQ(sweep.torn_lines_skipped(), 1);  // warned, not silent
+  std::remove(ckpt.c_str());
+}
+
+TEST(SweepRunnerTest, CleanCheckpointReportsNoTornLines) {
+  const std::string ckpt = temp_path("clean.jsonl");
+  const auto workloads = first_workloads(2);
+  {
+    SweepOptions opts;
+    opts.checkpoint_path = ckpt;
+    SweepRunner sweep(opts, fake_result);
+    sweep.run(workloads);
+    EXPECT_EQ(sweep.torn_lines_skipped(), 0);
+  }
+  SweepOptions opts;
+  opts.checkpoint_path = ckpt;
+  SweepRunner sweep(opts, fake_result);
+  sweep.run(workloads);
+  EXPECT_EQ(sweep.torn_lines_skipped(), 0);
+  EXPECT_EQ(sweep.resumed(), 2);
   std::remove(ckpt.c_str());
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The one merge gate: tier-1 build + full test suite, then every
+# specialised checker — ASan/UBSan, TSan over the sweep worker pool, the
+# state-hash determinism audit, and the performance-regression gate.
+# CI invokes exactly this script; run it locally before pushing anything
+# that touches simulator, harness or serialization code.
+#
+#   tools/check_all.sh [--skip-perf]
+#
+# Environment:
+#   GPUSIM_JOBS   parallel build/test jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${GPUSIM_JOBS:-$(nproc)}"
+SKIP_PERF=0
+if [[ "${1:-}" == "--skip-perf" ]]; then
+  SKIP_PERF=1
+fi
+
+echo "===== [1/5] tier-1: build + ctest ====="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+echo "===== [2/5] determinism audit ====="
+tools/check_determinism.sh build
+
+echo "===== [3/5] ASan + UBSan ====="
+tools/check_sanitize.sh
+
+echo "===== [4/5] TSan (sweep worker pool) ====="
+tools/check_tsan.sh
+
+if [[ "$SKIP_PERF" == "1" ]]; then
+  echo "===== [5/5] perf gate: SKIPPED ====="
+else
+  echo "===== [5/5] perf gate ====="
+  tools/check_perf.sh build
+fi
+
+echo "check_all: OK"

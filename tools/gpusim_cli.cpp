@@ -7,10 +7,14 @@
 //   gpusim_cli --apps AA,SD --policy qos --qos-target 1.5
 //   gpusim_cli --apps SB,VA --split 4,12 --models dase,mise,asm
 //   gpusim_cli --sweep all --checkpoint sweep.jsonl --out sweep.json
+//   gpusim_cli --apps SD,SA --snapshot-every 50000 --snapshot-dir snaps
+//   gpusim_cli --apps SD,SA --restore snaps/SD+SA.simstate
+//   gpusim_cli --apps SD,SA --audit-determinism
 //   gpusim_cli --list-apps
 //   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
 //
-// Exit codes: 0 success, 2 usage error, 3 simulation error (SimError).
+// Exit codes: 0 success, 2 usage error, 3 simulation error (SimError),
+// 4 determinism audit found a divergence.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +27,9 @@
 
 #include "common/config_io.hpp"
 #include "common/sim_error.hpp"
+#include "dase/dase_model.hpp"
+#include "gpu/simulator.hpp"
+#include "harness/divergence.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table_printer.hpp"
@@ -67,6 +74,24 @@ using namespace gpusim;
          "hardware thread;\n"
       << "                    1 = serial; results are byte-identical for "
          "any N)\n"
+      << "  --snapshot-every N  write a SimState snapshot every N cycles "
+         "(auto-resumes\n"
+      << "                    from it after a crash; works for --apps and "
+         "--sweep runs)\n"
+      << "  --snapshot-dir D  directory for snapshot files (default '.'; "
+         "requires\n"
+      << "                    --snapshot-every)\n"
+      << "  --restore FILE    restore a single run from this snapshot "
+         "before running\n"
+      << "                    (incompatible with --sweep)\n"
+      << "  --audit-determinism  run the workload twice (fast-forward on "
+         "vs off),\n"
+      << "                    compare state hashes every --hash-every "
+         "cycles; exit 4\n"
+      << "                    and dump the diverging components on "
+         "mismatch\n"
+      << "  --hash-every N    audit sampling period in cycles (default "
+         "10000)\n"
       << "  --dump-config     print the default config file and exit\n"
       << "  --list-apps       print the application registry and exit\n";
   std::exit(2);
@@ -198,6 +223,43 @@ int run_sweep(const std::string& which, const RunConfig& rc,
   return failed == 0 ? 0 : 1;
 }
 
+/// Builds one co-run simulation for the determinism audit: the workload's
+/// applications with the harness's seeds, an even SM partition, and a DASE
+/// model attached so estimator state is part of the compared hashes.
+struct AuditSim {
+  explicit AuditSim(const RunConfig& rc, const Workload& workload)
+      : dase(std::make_unique<DaseModel>()) {
+    std::vector<AppLaunch> launches;
+    for (std::size_t i = 0; i < workload.apps.size(); ++i) {
+      launches.push_back(AppLaunch{
+          workload.apps[i],
+          harness_app_seed(rc.base_seed, static_cast<int>(i))});
+    }
+    sim = std::make_unique<Simulation>(rc.gpu, std::move(launches));
+    sim->set_watchdog(rc.watchdog_cycles);
+    sim->gpu().set_partition(even_partition(
+        sim->gpu().num_sms(), static_cast<int>(workload.apps.size())));
+    sim->add_observer(dase.get());
+  }
+  std::unique_ptr<DaseModel> dase;
+  std::unique_ptr<Simulation> sim;
+};
+
+int run_audit(const RunConfig& rc, const Workload& workload,
+              Cycle hash_every) {
+  AuditSim a(rc, workload);
+  AuditSim b(rc, workload);
+  a.sim->set_fast_forward(true);
+  b.sim->set_fast_forward(false);
+  const DivergenceReport report =
+      audit_divergence(*a.sim, *b.sim, rc.co_run_cycles, hash_every);
+  std::cout << "determinism audit (" << workload.label()
+            << ", fast-forward on vs off, " << rc.co_run_cycles
+            << " cycles, hash every " << hash_every
+            << "): " << report.to_string() << '\n';
+  return report.diverged ? 4 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +276,10 @@ int main(int argc, char** argv) {
   SweepOptions sweep_opts;
   sweep_opts.jobs = 0;  // CLI default: one worker per hardware thread
   std::string sweep_out = "sweep_results.json";
+  bool have_snapshot_dir = false;
+  bool audit_determinism = false;
+  Cycle hash_every = 10'000;
+  bool have_hash_every = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -284,6 +350,18 @@ int main(int argc, char** argv) {
       sweep_opts.fail_fast = true;
     } else if (arg == "--jobs") {
       sweep_opts.jobs = static_cast<int>(parse_u64(argv[0], arg, next(), 1));
+    } else if (arg == "--snapshot-every") {
+      rc.snapshot_every = parse_u64(argv[0], arg, next(), 1);
+    } else if (arg == "--snapshot-dir") {
+      rc.snapshot_dir = next();
+      have_snapshot_dir = true;
+    } else if (arg == "--restore") {
+      rc.restore_path = next();
+    } else if (arg == "--audit-determinism") {
+      audit_determinism = true;
+    } else if (arg == "--hash-every") {
+      hash_every = parse_u64(argv[0], arg, next(), 1);
+      have_hash_every = true;
     } else if (arg == "--alone") {
       const std::string m = next();
       if (m == "replay") {
@@ -321,6 +399,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (have_snapshot_dir && rc.snapshot_every == 0) {
+    usage(argv[0], "--snapshot-dir requires --snapshot-every");
+  }
+  if (have_hash_every && !audit_determinism) {
+    usage(argv[0], "--hash-every requires --audit-determinism");
+  }
+  if (audit_determinism &&
+      (!sweep_which.empty() || !rc.restore_path.empty() ||
+       rc.snapshot_every != 0)) {
+    usage(argv[0],
+          "--audit-determinism is incompatible with --sweep, --restore and "
+          "--snapshot-every");
+  }
+  if (!rc.restore_path.empty() && !sweep_which.empty()) {
+    usage(argv[0],
+          "--restore is for single runs; sweeps auto-resume via "
+          "--snapshot-every and --checkpoint");
+  }
+
   try {
     if (!sweep_which.empty()) {
       if (!app_names.empty()) {
@@ -352,6 +449,10 @@ int main(int argc, char** argv) {
                            std::to_string(rc.gpu.num_sms) + "), got " +
                            std::to_string(total));
       }
+    }
+
+    if (audit_determinism) {
+      return run_audit(rc, workload, hash_every);
     }
 
     ExperimentRunner runner(rc);
