@@ -33,6 +33,8 @@ void GpuConfig::validate() const {
   if (noc_queue_depth <= 0) fail("noc_queue_depth must be positive");
   if (partition_resp_queue_depth <= 0)
     fail("partition_resp_queue_depth must be positive");
+  if (mshr_retry_timeout == 0) fail("mshr_retry_timeout must be positive");
+  if (mshr_retry_max <= 0) fail("mshr_retry_max must be positive");
 }
 
 }  // namespace gpusim

@@ -66,6 +66,17 @@ struct GpuConfig {
   /// near the ~400 SM cycles measured on Fermi-class GPUs.
   Cycle l2_miss_extra_latency = 150;
 
+  // ---- Modeled recovery (SM-side MSHR retry) ----
+  /// When enabled, an SM re-issues a pending L1-MSHR miss whose response has
+  /// not arrived within `mshr_retry_timeout` cycles, doubling the timeout on
+  /// each reissue (exponential backoff).  After `mshr_retry_max` reissues the
+  /// SM raises SimError(kRecoveryExhausted) instead of hanging silently.
+  /// Off by default: a lost packet then strands the warp and the watchdog /
+  /// conservation auditor report it, exactly as before.
+  bool mshr_retry_enabled = false;
+  Cycle mshr_retry_timeout = 50'000;
+  int mshr_retry_max = 4;
+
   // ---- DASE model parameters ----
   Cycle estimation_interval = 50'000;  // paper Section 4.4: fixed 50K cycles
   double requestmax_factor = 0.6;      // paper Eq. 20 empirical default
@@ -136,6 +147,9 @@ struct GpuConfig {
     s.put_double(requestmax_factor);
     s.put_double(alpha_clamp_threshold);
     s.put_bool(alpha_clamp_enabled);
+    s.put_bool(mshr_retry_enabled);
+    s.put_u64(mshr_retry_timeout);
+    s.put_i32(mshr_retry_max);
   }
 };
 

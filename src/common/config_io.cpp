@@ -98,6 +98,9 @@ const std::map<std::string, Field>& field_table() {
       {"requestmax_factor", number_field(&GpuConfig::requestmax_factor, "Eq. 20 empirical factor")},
       {"alpha_clamp_threshold", number_field(&GpuConfig::alpha_clamp_threshold, "alpha->1 threshold")},
       {"alpha_clamp_enabled", bool_field(&GpuConfig::alpha_clamp_enabled, "Section 4.1 clamp")},
+      {"mshr_retry_enabled", bool_field(&GpuConfig::mshr_retry_enabled, "SM reissues timed-out misses")},
+      {"mshr_retry_timeout", number_field(&GpuConfig::mshr_retry_timeout, "cycles before first reissue")},
+      {"mshr_retry_max", number_field(&GpuConfig::mshr_retry_max, "reissues before recovery-exhausted")},
   };
   return table;
 }

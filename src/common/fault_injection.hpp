@@ -1,115 +1,294 @@
-// SimGuard fault injection.
+// SimGuard fault injection: timed, typed, serializable fault schedules.
 //
-// The watchdog and the request-conservation auditor only earn their keep if
-// we can prove they fire.  A FaultPlan describes a deterministic fault —
-// drop the Nth memory response, stall a memory partition from a given
-// cycle, drop the Nth request at a partition's input port, or corrupt a
-// configuration field — and a FaultInjector evaluates it at the hook points
-// the Gpu and MemoryPartition expose.  Probabilistic variants draw from the
-// simulator's own seeded Rng (rng.hpp) so every injected failure is
-// bit-reproducible.
+// The watchdog, the request-conservation auditor and the modeled recovery
+// path only earn their keep if we can prove they fire.  A FaultSchedule is a
+// deterministic timeline of typed fault events — drop the Nth response or
+// request, freeze a partition over a cycle window (with recovery when the
+// window closes), flip a bit in a DRAM fill address, misroute a NoC packet,
+// or NACK a response so it is redelivered later — evaluated by a
+// FaultInjector at the hook points the Gpu and MemoryPartition expose.
+// Probabilistic variants draw from the simulator's own seeded Rng (rng.hpp)
+// so every injected failure is bit-reproducible, and the injector's counters
+// and RNG serialize through the SimState walk so a snapshot taken while an
+// nth-event fault is armed replays the fault at the *same* event after a
+// restore.
+//
+// Schedules round-trip through a compact spec string
+// (`drop-resp:nth=200;stall:part=0,from=1000,until=5000;seed=7`) so a chaos
+// campaign can emit a failing schedule as a CLI-replayable artifact.
 //
 // Injection simulates a *bug*, so the conservation taps are deliberately
 // not told about dropped packets: the auditor must discover the imbalance
 // on its own, exactly as it would for a real leak.
 #pragma once
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "common/simstate.hpp"
 #include "common/types.hpp"
 
 namespace gpusim {
 
-struct FaultPlan {
-  /// Drop the Nth (1-based) response packet at final delivery to an SM.
-  /// 0 disables.  The waiting warp hangs forever — a response leak.
-  u64 drop_response_nth = 0;
-  /// Additionally drop each response with this probability (deterministic
-  /// via `seed`).  Used for stress runs; 0 disables.
-  double drop_response_prob = 0.0;
+enum class FaultKind : u8 {
+  kDropResponse,  ///< drop the Nth response (or each with prob) at delivery
+  kDropRequest,   ///< drop the Nth request at a partition's input port
+  kStallWindow,   ///< freeze a partition for [from, until); until=0 = forever
+  kBitFlip,       ///< XOR a bit into the Nth DRAM fill's line address
+  kMisroute,      ///< from `from` onwards, rewrite one request's destination
+  kNackResponse,  ///< Nth response is NACKed: redelivered `delay` cycles later
+};
 
-  /// Drop the Nth (1-based) request packet as a partition consumes its
-  /// crossbar input queue.  0 disables.  A request leak.
-  u64 drop_request_nth = 0;
+const char* to_string(FaultKind kind);
 
-  /// Freeze this memory partition (no L2, no DRAM progress) from
-  /// `stall_from_cycle` onwards.  kInvalidPartition (-1) disables.  Models a
-  /// hung port; the progress watchdog must catch the resulting deadlock.
-  PartitionId stall_partition = -1;
-  Cycle stall_from_cycle = 0;
+/// One entry on the fault timeline.  Which fields matter depends on `kind`;
+/// the rest stay at their defaults and are ignored.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropResponse;
+  u64 nth = 0;       ///< 1-based event ordinal (responses / requests / fills)
+  double prob = 0.0;  ///< kDropResponse only: per-response drop probability
+  PartitionId partition = -1;  ///< kStallWindow target (-1 = none)
+  Cycle from = 0;   ///< kStallWindow / kMisroute: first affected cycle
+  Cycle until = 0;  ///< kStallWindow: first cycle after the window (0=forever)
+  int bit = 0;      ///< kBitFlip: bit index XORed into the line address
+  Cycle delay = 100;  ///< kNackResponse: redelivery delay (clamped to >= 1)
+};
 
+/// Deterministic timeline of fault events plus the RNG seed for any
+/// probabilistic event.  Plain data: the schedule is configuration, not
+/// state — only the FaultInjector's progress counters serialize.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
   u64 seed = 1;
 
-  bool any() const {
-    return drop_response_nth != 0 || drop_response_prob > 0.0 ||
-           drop_request_nth != 0 || stall_partition >= 0;
+  bool any() const { return !events.empty(); }
+
+  // Fluent builders so call sites read like the old FaultPlan fields.
+  FaultSchedule& drop_response_nth(u64 n) {
+    FaultEvent e;
+    e.kind = FaultKind::kDropResponse;
+    e.nth = n;
+    events.push_back(e);
+    return *this;
   }
+  FaultSchedule& drop_response_prob(double p) {
+    FaultEvent e;
+    e.kind = FaultKind::kDropResponse;
+    e.prob = p;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& drop_request_nth(u64 n) {
+    FaultEvent e;
+    e.kind = FaultKind::kDropRequest;
+    e.nth = n;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& stall_partition(PartitionId p, Cycle from, Cycle until = 0) {
+    FaultEvent e;
+    e.kind = FaultKind::kStallWindow;
+    e.partition = p;
+    e.from = from;
+    e.until = until;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& bit_flip(u64 nth, int bit) {
+    FaultEvent e;
+    e.kind = FaultKind::kBitFlip;
+    e.nth = nth;
+    e.bit = bit;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& misroute_at(Cycle from) {
+    FaultEvent e;
+    e.kind = FaultKind::kMisroute;
+    e.from = from;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& nack_response(u64 nth, Cycle delay) {
+    FaultEvent e;
+    e.kind = FaultKind::kNackResponse;
+    e.nth = nth;
+    e.delay = std::max<Cycle>(1, delay);
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& with_seed(u64 s) {
+    seed = s;
+    return *this;
+  }
+
+  /// Canonical spec string, e.g. `drop-resp:nth=200;stall:part=0,from=1000`
+  /// with a trailing `;seed=N`.  parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  /// Parses a spec string.  Throws SimError(kConfig) on malformed input.
+  /// The empty string parses to an empty (inactive) schedule.
+  static FaultSchedule parse(const std::string& spec);
+};
+
+/// What the Gpu should do with a matured response packet.
+enum class ResponseAction : u8 { kDeliver, kDrop, kNack };
+
+struct ResponseDecision {
+  ResponseAction action = ResponseAction::kDeliver;
+  Cycle delay = 0;  ///< kNack only: redelivery delay (>= 1)
 };
 
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+  explicit FaultInjector(FaultSchedule schedule)
+      : schedule_(std::move(schedule)), rng_(schedule_.seed) {}
 
   /// Hook: Gpu is about to deliver a matured response to an SM.
-  /// Returns true when the packet must be silently discarded.
-  bool should_drop_response() {
+  ResponseDecision on_response(Cycle now) {
+    (void)now;
     ++responses_seen_;
-    if (plan_.drop_response_nth != 0 &&
-        responses_seen_ == plan_.drop_response_nth) {
-      ++responses_dropped_;
-      return true;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind == FaultKind::kDropResponse) {
+        if ((e.nth != 0 && responses_seen_ == e.nth) ||
+            (e.prob > 0.0 && rng_.next_bool(e.prob))) {
+          ++responses_dropped_;
+          return {ResponseAction::kDrop, 0};
+        }
+      } else if (e.kind == FaultKind::kNackResponse) {
+        if (e.nth != 0 && responses_seen_ == e.nth) {
+          ++nacks_issued_;
+          return {ResponseAction::kNack, std::max<Cycle>(1, e.delay)};
+        }
+      }
     }
-    if (plan_.drop_response_prob > 0.0 &&
-        rng_.next_bool(plan_.drop_response_prob)) {
-      ++responses_dropped_;
-      return true;
-    }
-    return false;
+    return {};
   }
 
   /// Hook: a partition is about to consume a request from its input queue.
   bool should_drop_request() {
     ++requests_seen_;
-    if (plan_.drop_request_nth != 0 &&
-        requests_seen_ == plan_.drop_request_nth) {
-      ++requests_dropped_;
-      return true;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind == FaultKind::kDropRequest && e.nth != 0 &&
+          requests_seen_ == e.nth) {
+        ++requests_dropped_;
+        return true;
+      }
     }
     return false;
   }
 
-  /// Hook: Gpu asks whether partition `p` is frozen this cycle.
+  /// Hook: Gpu asks whether partition `p` is frozen this cycle.  A stall
+  /// window with until=0 never recovers (the original hard-stall fault).
   bool partition_stalled(PartitionId p, Cycle now) const {
-    return plan_.stall_partition == p && now >= plan_.stall_from_cycle;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind == FaultKind::kStallWindow && e.partition == p &&
+          now >= e.from && (e.until == 0 || now < e.until)) {
+        return true;
+      }
+    }
+    return false;
   }
 
+  /// Hook: a partition counted one DRAM fill completion.  Returns the
+  /// (possibly bit-flipped) line address to fill/release with.
+  u64 corrupt_fill_line(u64 line) {
+    ++fills_seen_;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind == FaultKind::kBitFlip && e.nth != 0 &&
+          fills_seen_ == e.nth) {
+        ++flips_done_;
+        line ^= (u64{1} << (e.bit & 63));
+      }
+    }
+    return line;
+  }
+
+  /// Hook: Gpu asks, before the request-crossbar transfer, whether a
+  /// misroute event is armed and has not fired yet.
+  bool misroute_due(Cycle now) const {
+    u64 armed = 0;
+    for (const FaultEvent& e : schedule_.events) {
+      if (e.kind == FaultKind::kMisroute && now >= e.from) ++armed;
+    }
+    return armed > misroutes_fired_;
+  }
+  void note_misroute_fired() { ++misroutes_fired_; }
+
+  u64 responses_seen() const { return responses_seen_; }
   u64 responses_dropped() const { return responses_dropped_; }
   u64 requests_dropped() const { return requests_dropped_; }
-  const FaultPlan& plan() const { return plan_; }
+  u64 flips_done() const { return flips_done_; }
+  u64 misroutes_fired() const { return misroutes_fired_; }
+  u64 nacks_issued() const { return nacks_issued_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Did any event actually corrupt behaviour silently (vs. just delaying)?
+  /// Used by the chaos classifier: a completed run whose injector misrouted
+  /// a packet produced data from the wrong partition — a wrong result even
+  /// though every queue balanced.
+  bool silently_corrupting() const { return misroutes_fired_ > 0; }
+
+  // Progress counters and RNG are simulation state (the schedule itself is
+  // configuration, covered by the snapshot fingerprint via the harness
+  // context).  Serialized through the Gpu's SimState walk so nth-event
+  // faults replay at the same event after a snapshot restore.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("FINJ");
+    s.put_u64(responses_seen_);
+    s.put_u64(responses_dropped_);
+    s.put_u64(requests_seen_);
+    s.put_u64(requests_dropped_);
+    s.put_u64(fills_seen_);
+    s.put_u64(flips_done_);
+    s.put_u64(misroutes_fired_);
+    s.put_u64(nacks_issued_);
+    rng_.write_state(s);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("FINJ");
+    responses_seen_ = r.get_u64();
+    responses_dropped_ = r.get_u64();
+    requests_seen_ = r.get_u64();
+    requests_dropped_ = r.get_u64();
+    fills_seen_ = r.get_u64();
+    flips_done_ = r.get_u64();
+    misroutes_fired_ = r.get_u64();
+    nacks_issued_ = r.get_u64();
+    rng_.load(r);
+  }
 
  private:
-  FaultPlan plan_;
+  FaultSchedule schedule_;
   Rng rng_;
   u64 responses_seen_ = 0;
   u64 responses_dropped_ = 0;
   u64 requests_seen_ = 0;
   u64 requests_dropped_ = 0;
+  u64 fills_seen_ = 0;
+  u64 flips_done_ = 0;
+  u64 misroutes_fired_ = 0;
+  u64 nacks_issued_ = 0;
 };
 
-/// Deterministically corrupts one configuration field (seed selects which).
-/// Every corruption must be caught by GpuConfig::validate(); the SimGuard
-/// tests use this to prove the config layer rejects garbage before a
-/// simulation can silently run with it.
-inline void corrupt_config(GpuConfig& cfg, u64 seed) {
-  Rng rng(seed);
-  switch (rng.next_below(6)) {
-    case 0: cfg.num_sms = 0; break;
-    case 1: cfg.banks_per_mc = 64; break;        // bank bitmasks are 32-wide
-    case 2: cfg.requestmax_factor = -0.5; break;
-    case 3: cfg.line_bytes = 100; break;         // not a power of two
-    case 4: cfg.partition_resp_queue_depth = -1; break;
-    case 5: cfg.atd_sampled_sets = 1 << 20; break;  // > l2_num_sets()
-  }
-}
+/// Number of distinct config-corruption rules in the table below.
+std::size_t corruption_rule_count();
+
+/// Human-readable name of corruption rule `index` (for test diagnostics).
+const char* corruption_rule_name(std::size_t index);
+
+/// Deterministically corrupts one configuration field (`seed %
+/// corruption_rule_count()` selects which).  The table covers every
+/// GpuConfig::validate() rule, so iterating seed over [0, rule_count)
+/// proves the config layer rejects each class of garbage before a
+/// simulation can silently run with it — and a validate() rule added
+/// without a matching corruption shows up as an uncovered table entry.
+void corrupt_config(GpuConfig& cfg, u64 seed);
 
 }  // namespace gpusim

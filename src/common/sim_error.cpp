@@ -12,6 +12,7 @@ const char* to_string(SimErrorKind kind) {
     case SimErrorKind::kHarness: return "harness";
     case SimErrorKind::kFault: return "fault";
     case SimErrorKind::kSnapshot: return "snapshot";
+    case SimErrorKind::kRecoveryExhausted: return "recovery-exhausted";
   }
   return "unknown";
 }

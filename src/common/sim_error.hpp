@@ -38,6 +38,7 @@ enum class SimErrorKind {
   kHarness,        ///< experiment-harness misuse (missing model, bad split)
   kFault,          ///< raised by an injected fault on purpose
   kSnapshot,       ///< SimState snapshot format / integrity / mismatch error
+  kRecoveryExhausted,  ///< modeled retry path gave up (capped reissues spent)
 };
 
 const char* to_string(SimErrorKind kind);

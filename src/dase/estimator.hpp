@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,12 @@ class SlowdownEstimator : public IntervalObserver {
   void on_interval(const IntervalSample& sample, Gpu& gpu) final {
     ++intervals_seen_;
     latest_ = estimate(sample, gpu);
+    // NaN/overflow guard: injected faults (lost requests, frozen
+    // partitions) can starve an interval of the activity the estimators
+    // divide by.  Sanitize at this single accumulation choke point so no
+    // non-finite or absurd slowdown ever reaches the running means or the
+    // fairness policies.
+    for (SlowdownEstimate& e : latest_) sanitized_ += sanitize(e) ? 1 : 0;
     if (intervals_seen_ <= static_cast<u64>(warmup_)) return;
     for (const SlowdownEstimate& e : latest_) {
       if (e.valid) {
@@ -54,7 +61,38 @@ class SlowdownEstimator : public IntervalObserver {
   }
 
   u64 intervals_seen() const { return intervals_seen_; }
+  /// Estimates that had a non-finite or out-of-range field repaired by the
+  /// NaN/overflow guard (0 on healthy runs — the clamp range is far wider
+  /// than any legitimate estimate).
+  u64 sanitized_estimates() const { return sanitized_; }
   virtual std::string name() const = 0;
+
+  /// Slowdown estimates outside [kMinSlowdown, kMaxSlowdown] are clamped;
+  /// non-finite values invalidate the estimate and reset it to neutral.
+  static constexpr double kMinSlowdown = 1e-3;
+  static constexpr double kMaxSlowdown = 1e6;
+
+  /// Repairs one estimate in place; returns true when anything changed.
+  static bool sanitize(SlowdownEstimate& e) {
+    bool touched = false;
+    if (!std::isfinite(e.slowdown_assigned) || !std::isfinite(e.slowdown_all) ||
+        !std::isfinite(e.alpha) || !std::isfinite(e.interference_cycles)) {
+      e = SlowdownEstimate{};  // valid=false, neutral slowdowns
+      return true;
+    }
+    auto clamp = [&touched](double& v) {
+      if (v < kMinSlowdown) {
+        v = kMinSlowdown;
+        touched = true;
+      } else if (v > kMaxSlowdown) {
+        v = kMaxSlowdown;
+        touched = true;
+      }
+    };
+    clamp(e.slowdown_assigned);
+    clamp(e.slowdown_all);
+    return touched;
+  }
 
   // SimState: all estimator accumulation lives in this base (the DASE /
   // MISE / ASM subclasses are pure functions of the interval sample), so
@@ -74,6 +112,7 @@ class SlowdownEstimator : public IntervalObserver {
       e.interference_cycles = r.get_double();
     }
     for (RunningMean& m : accum_) m.load(r);
+    sanitized_ = r.get_u64();
   }
 
  protected:
@@ -95,10 +134,12 @@ class SlowdownEstimator : public IntervalObserver {
       s.put_double(e.interference_cycles);
     }
     for (const RunningMean& m : accum_) m.write_state(s);
+    s.put_u64(sanitized_);
   }
 
   int warmup_;
   u64 intervals_seen_ = 0;
+  u64 sanitized_ = 0;
   std::vector<SlowdownEstimate> latest_;
   std::array<RunningMean, kMaxApps> accum_;
 };

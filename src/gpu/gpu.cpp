@@ -141,10 +141,22 @@ void Gpu::cycle() {
     auto& rq = resp_net_.dest_queue(s);
     while (!rq.empty() && rq.front().ready <= now_) {
       MemResponsePacket resp = rq.pop();
-      if (injector_ != nullptr && injector_->should_drop_response()) {
-        // Injected fault: the response vanishes at delivery, stranding its
-        // warp.  Taps stay silent so the auditor must detect the leak.
-        continue;
+      if (injector_ != nullptr) {
+        const ResponseDecision d = injector_->on_response(now_);
+        if (d.action == ResponseAction::kDrop) {
+          // Injected fault: the response vanishes at delivery, stranding
+          // its warp.  Taps stay silent so the auditor must detect the
+          // leak.
+          continue;
+        }
+        if (d.action == ResponseAction::kNack) {
+          // Injected fault: delivery refused; the packet re-queues with a
+          // later ready time (>= now_+1, so this loop terminates).  If the
+          // queue refilled meanwhile, the NACK has nowhere to park and the
+          // packet is delivered after all.
+          resp.ready = now_ + d.delay;
+          if (rq.try_push(resp)) continue;
+        }
       }
       taps_.responses_delivered.add(resp.app);
       sms_[s]->receive(resp);
@@ -152,6 +164,21 @@ void Gpu::cycle() {
     sms_[s]->cycle(now_);
     const AppId app = sms_[s]->app();
     if (app != kInvalidApp) sm_cycles_.add(app);
+  }
+
+  // 1b. Injected misroute: rewrite the destination of the first ready
+  // request packet waiting at any SM's out-queue head.  Done here — not in
+  // the crossbar's RouteFn, which is re-evaluated every arbitration probe —
+  // so the corruption happens exactly once and deterministically.
+  if (injector_ != nullptr && injector_->misroute_due(now_)) {
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+      auto& oq = sms_[s]->out_queue();
+      if (oq.empty() || oq.front().ready > now_) continue;
+      MemRequestPacket& pkt = oq.front();
+      pkt.dest = (pkt.dest + 1) % cfg_.num_partitions;
+      injector_->note_misroute_fired();
+      break;
+    }
   }
 
   // 2. Request crossbar: SM output FIFOs -> partition delivery queues.
@@ -300,6 +327,11 @@ AuditReport Gpu::audit_conservation() const {
     report.consumed[a] = taps_.requests_consumed.total(a);
     report.enqueued[a] = taps_.responses_enqueued.total(a);
     report.delivered[a] = taps_.responses_delivered.total(a);
+    report.retried[a] = taps_.retries_issued.total(a);
+    report.absorbed[a] = taps_.duplicates_absorbed.total(a);
+  }
+  for (const auto& sm : sms_) {
+    sm->count_recovery_outstanding(report.recovery_outstanding);
   }
 
   // Walk everything currently in flight, stage by stage.
@@ -399,6 +431,12 @@ void Gpu::write_state(Sink& s) const {
   for (const auto& part : partitions_) part->write_state(s);
   req_net_.write_state(s);
   resp_net_.write_state(s);
+  // Fault-injector progress (counters + RNG).  The *schedule* is runtime
+  // configuration and is covered by the snapshot fingerprint through the
+  // harness context; serializing the counters here makes armed nth-event
+  // faults fire at the same event after a restore.
+  s.put_bool(injector_ != nullptr);
+  if (injector_ != nullptr) injector_->write_state(s);
 }
 
 template void Gpu::write_state<StateWriter>(StateWriter&) const;
@@ -433,6 +471,15 @@ void Gpu::load(StateReader& r) {
   for (auto& part : partitions_) part->load(r);
   req_net_.load(r);
   resp_net_.load(r);
+  const bool had_injector = r.get_bool();
+  SIM_CHECK(had_injector == (injector_ != nullptr),
+            SimError(SimErrorKind::kSnapshot, "gpu",
+                     "snapshot fault-injector attachment does not match this "
+                     "simulation (attach the same FaultSchedule before "
+                     "restoring)")
+                .detail("snapshot_has_injector", had_injector)
+                .detail("gpu_has_injector", injector_ != nullptr));
+  if (injector_ != nullptr) injector_->load(r);
 }
 
 u64 Gpu::state_hash() const {
@@ -470,6 +517,9 @@ std::vector<std::pair<std::string, u64>> Gpu::component_hashes() const {
   }
   out.emplace_back("req_net", state_hash_of(req_net_));
   out.emplace_back("resp_net", state_hash_of(resp_net_));
+  if (injector_ != nullptr) {
+    out.emplace_back("fault_injector", state_hash_of(*injector_));
+  }
   return out;
 }
 

@@ -129,8 +129,11 @@ class Gpu {
   // interval bookkeeping, partition table, app runtimes, SMs (with their
   // owning app id, resolved back to a BlockSource on load), memory
   // partitions and both crossbars.  Config and wiring are construction-time
-  // and excluded; the fault injector is runtime attachment and is not
-  // captured (snapshot/restore under fault injection is unsupported).
+  // and excluded.  An attached fault injector's progress counters and RNG
+  // *are* captured (and load() requires the same attachment state), so an
+  // armed nth-event fault replays at the same event after a restore; the
+  // FaultSchedule itself is configuration, covered by the snapshot
+  // fingerprint via the harness context.
   template <typename Sink>
   void write_state(Sink& s) const;
   void save(StateWriter& w) const { write_state(w); }

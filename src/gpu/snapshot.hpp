@@ -30,7 +30,9 @@
 
 namespace gpusim {
 
-inline constexpr u32 kSnapshotVersion = 1;
+// Version 2: recovery-tap counters, SM retry/dup-expect maps, estimator
+// sanitization counters, and fault-injector progress joined the state walk.
+inline constexpr u32 kSnapshotVersion = 2;
 
 struct SnapshotHeader {
   u32 version = 0;

@@ -1,0 +1,489 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "baselines/asm_model.hpp"
+#include "baselines/mise_model.hpp"
+#include "baselines/priority_epochs.hpp"
+#include "common/rng.hpp"
+#include "common/sim_error.hpp"
+#include "dase/dase_model.hpp"
+#include "gpu/simulator.hpp"
+#include "harness/runner.hpp"
+#include "harness/worker_pool.hpp"
+#include "sched/dase_fair.hpp"
+
+namespace gpusim {
+
+namespace {
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string first_line(const std::string& text) {
+  const auto nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+/// Per-job schedule seed: a splitmix64 step over the master seed so
+/// neighbouring jobs get decorrelated schedules, with no dependence on
+/// wall clock or thread identity.
+u64 job_schedule_seed(u64 master, std::size_t index) {
+  u64 x = master + 0x9e3779b97f4a7c15ull * (static_cast<u64>(index) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+std::string extract_string_field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+long extract_int_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtol(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+bool outcome_from_string(const std::string& text, ChaosOutcome& out) {
+  for (const ChaosOutcome o :
+       {ChaosOutcome::kRecovered, ChaosOutcome::kGuardCaught,
+        ChaosOutcome::kWrongResult, ChaosOutcome::kHang}) {
+    if (text == to_string(o)) {
+      out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string chaos_job_json(const ChaosJobResult& r) {
+  std::ostringstream ss;
+  ss << "{\"index\":" << r.index << ",\"workload\":\""
+     << escape_json(r.workload) << "\",\"policy\":\"" << r.policy
+     << "\",\"schedule\":\"" << escape_json(r.schedule) << "\",\"outcome\":\""
+     << to_string(r.outcome) << "\",\"error_kind\":\""
+     << escape_json(r.error_kind) << "\",\"detail\":\""
+     << escape_json(r.detail) << "\",\"final_cycle\":" << r.final_cycle
+     << ",\"retries_issued\":" << r.retries_issued
+     << ",\"duplicates_absorbed\":" << r.duplicates_absorbed
+     << ",\"sanitized_estimates\":" << r.sanitized_estimates
+     << ",\"minimized_schedule\":\"" << escape_json(r.minimized_schedule)
+     << "\",\"minimized_events\":" << r.minimized_events << ",\"replay\":\""
+     << escape_json(r.replay) << "\"}";
+  return ss.str();
+}
+
+std::string replay_command(const ChaosOptions& opts, const std::string& label,
+                           const std::string& spec, bool dase_fair) {
+  std::string apps = label;
+  std::replace(apps.begin(), apps.end(), '+', ',');
+  std::ostringstream ss;
+  ss << "gpusim_cli --apps " << apps << " --cycles " << opts.cycles;
+  if (dase_fair) ss << " --policy dase-fair";
+  if (!opts.recovery) ss << " --no-recovery";
+  ss << " --fault-schedule '" << spec << "'";
+  return ss.str();
+}
+
+}  // namespace
+
+const char* to_string(ChaosOutcome outcome) {
+  switch (outcome) {
+    case ChaosOutcome::kRecovered: return "recovered";
+    case ChaosOutcome::kGuardCaught: return "guard-caught";
+    case ChaosOutcome::kWrongResult: return "wrong-result";
+    case ChaosOutcome::kHang: return "hang";
+  }
+  return "?";
+}
+
+int ChaosReport::count(ChaosOutcome outcome) const {
+  int n = 0;
+  for (const ChaosJobResult& job : jobs) n += job.outcome == outcome ? 1 : 0;
+  return n;
+}
+
+std::string ChaosReport::to_json() const {
+  std::ostringstream ss;
+  ss << "{\"chaos_campaign\":{\"schedules\":" << schedules
+     << ",\"seed\":" << seed << ",\"cycles\":" << cycles << ",\"recovery\":"
+     << (recovery ? "true" : "false") << ",\"outcomes\":{";
+  bool first = true;
+  for (const ChaosOutcome o :
+       {ChaosOutcome::kRecovered, ChaosOutcome::kGuardCaught,
+        ChaosOutcome::kWrongResult, ChaosOutcome::kHang}) {
+    if (!first) ss << ",";
+    first = false;
+    ss << "\"" << to_string(o) << "\":" << count(o);
+  }
+  ss << "},\"jobs\":[\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ss << jobs[i].json << (i + 1 < jobs.size() ? ",\n" : "\n");
+  }
+  ss << "]}}\n";
+  return ss.str();
+}
+
+FaultSchedule random_fault_schedule(u64 seed, Cycle cycles,
+                                    int num_partitions, int max_events) {
+  Rng rng(seed == 0 ? 1 : seed);
+  FaultSchedule s;
+  s.seed = seed == 0 ? 1 : seed;
+  const int parts = std::max(1, num_partitions);
+  const Cycle half = std::max<Cycle>(1, cycles / 2);
+  const int n = 1 + static_cast<int>(rng.next_below(
+                        static_cast<u64>(std::max(1, max_events))));
+  for (int i = 0; i < n; ++i) {
+    const u64 nth = 50 + rng.next_below(1'500);
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+        s.drop_response_nth(nth);
+        break;
+      case 2:
+        s.drop_request_nth(nth);
+        break;
+      case 3:
+        s.nack_response(nth, 50 + rng.next_below(400));
+        break;
+      case 4:
+        s.bit_flip(20 + rng.next_below(400),
+                   static_cast<int>(rng.next_below(24)));
+        break;
+      case 5:
+      case 6: {
+        // Windowed stall: the partition freezes, then recovers and drains.
+        const PartitionId p =
+            static_cast<PartitionId>(rng.next_below(parts));
+        const Cycle from = 1'000 + rng.next_below(half);
+        const Cycle len =
+            1'000 + rng.next_below(std::max<Cycle>(1, cycles / 4));
+        s.stall_partition(p, from, from + len);
+        break;
+      }
+      default:
+        if (rng.next_bool(0.5)) {
+          // Rare: a stall that never recovers — the designed hang class.
+          s.stall_partition(static_cast<PartitionId>(rng.next_below(parts)),
+                            1'000 + rng.next_below(half));
+        } else {
+          s.drop_response_prob(0.01 + 0.04 * rng.next_double());
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+ChaosJobResult run_chaos_job(const ChaosOptions& opts,
+                             const Workload& workload, bool dase_fair,
+                             const FaultSchedule& schedule) {
+  // Chaos-tune the config so every mechanism fits inside the job budget:
+  // the retry timeout small enough that backoff plays out, the estimation
+  // interval small enough that estimators see several samples, and the
+  // watchdog a fraction of the budget so a wedge is proven, not outwaited.
+  GpuConfig cfg = opts.gpu;
+  cfg.mshr_retry_enabled = opts.recovery;
+  cfg.mshr_retry_timeout = std::max<Cycle>(
+      1'000, std::min<Cycle>(cfg.mshr_retry_timeout, opts.cycles / 8));
+  cfg.estimation_interval = std::max<Cycle>(
+      2'000, std::min<Cycle>(cfg.estimation_interval, opts.cycles / 4));
+
+  ChaosJobResult r;
+  r.workload = workload.label();
+  r.policy = dase_fair ? "dase-fair" : "even";
+  r.schedule = schedule.to_string();
+
+  const int n = static_cast<int>(workload.apps.size());
+  std::vector<AppLaunch> launches;
+  for (int i = 0; i < n; ++i) {
+    launches.push_back(
+        AppLaunch{workload.apps[i], harness_app_seed(opts.base_seed, i)});
+  }
+
+  auto dase = std::make_unique<DaseModel>();
+  auto mise = std::make_unique<MiseModel>();
+  auto asm_model = std::make_unique<AsmModel>();
+  auto epochs = std::make_unique<PriorityEpochDriver>(
+      PriorityEpochDriver::with_defaults(cfg, n));
+  std::unique_ptr<DaseFairPolicy> fair;
+
+  Simulation sim(cfg, std::move(launches));
+  sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), n));
+  sim.set_watchdog(std::max<Cycle>(5'000, opts.cycles / 4));
+  sim.add_observer(dase.get());
+  sim.add_observer(mise.get());
+  sim.add_observer(asm_model.get());
+  sim.add_cycle_hook(epochs.get());
+  if (dase_fair) {
+    fair = std::make_unique<DaseFairPolicy>(dase.get());
+    sim.add_observer(fair.get());
+  }
+
+  FaultInjector injector(schedule);
+  sim.gpu().set_fault_injector(&injector);
+
+  auto collect = [&]() {
+    r.final_cycle = sim.gpu().now();
+    r.retries_issued =
+        sim.gpu().conservation_taps().retries_issued.grand_total();
+    r.duplicates_absorbed =
+        sim.gpu().conservation_taps().duplicates_absorbed.grand_total();
+    r.sanitized_estimates = dase->sanitized_estimates() +
+                            mise->sanitized_estimates() +
+                            asm_model->sanitized_estimates();
+  };
+
+  try {
+    sim.run(opts.cycles);
+  } catch (const SimError& e) {
+    collect();
+    r.error_kind = to_string(e.kind());
+    if (e.kind() == SimErrorKind::kWatchdogStall) {
+      r.outcome = ChaosOutcome::kHang;
+      r.detail = "watchdog: " + first_line(e.what());
+    } else {
+      r.outcome = ChaosOutcome::kGuardCaught;
+      r.detail = std::string(e.component()) + ": " + first_line(e.what());
+    }
+    return r;
+  } catch (const std::exception& e) {
+    collect();
+    r.outcome = ChaosOutcome::kGuardCaught;
+    r.error_kind = "exception";
+    r.detail = first_line(e.what());
+    return r;
+  }
+
+  collect();
+
+  // A stall-forever event that was already active when the budget ran out
+  // is a hang the budget merely outpaced: the wedge never clears, the
+  // watchdog just had not accumulated its threshold yet.
+  bool stall_forever = false;
+  for (const FaultEvent& e : schedule.events) {
+    if (e.kind == FaultKind::kStallWindow && e.until == 0 &&
+        e.from <= r.final_cycle) {
+      stall_forever = true;
+    }
+  }
+  const AuditReport audit = sim.gpu().audit_conservation();
+  bool finite = true;
+  for (int a = 0; a < n; ++a) {
+    if (!std::isfinite(dase->mean_slowdown(a)) ||
+        !std::isfinite(mise->mean_slowdown(a)) ||
+        !std::isfinite(asm_model->mean_slowdown(a))) {
+      finite = false;
+    }
+  }
+
+  if (stall_forever) {
+    r.outcome = ChaosOutcome::kHang;
+    r.detail = "stall-forever fault still active when the cycle budget expired";
+  } else if (!audit.ok()) {
+    r.outcome = ChaosOutcome::kGuardCaught;
+    r.error_kind = to_string(SimErrorKind::kConservation);
+    r.detail = "conservation audit imbalance beyond the recovery tolerance";
+  } else if (injector.silently_corrupting()) {
+    r.outcome = ChaosOutcome::kWrongResult;
+    r.detail = "request misrouted to the wrong partition: results corrupt";
+  } else if (!finite) {
+    r.outcome = ChaosOutcome::kWrongResult;
+    r.detail = "non-finite slowdown estimate escaped the sanitizer";
+  } else {
+    r.outcome = ChaosOutcome::kRecovered;
+    r.detail = "completed: audit balanced, all estimates finite";
+  }
+  return r;
+}
+
+FaultSchedule minimize_failing_schedule(const ChaosOptions& opts,
+                                        const Workload& workload,
+                                        bool dase_fair,
+                                        const FaultSchedule& schedule,
+                                        ChaosOutcome failure) {
+  FaultSchedule best = schedule;
+  bool shrunk = true;
+  while (shrunk && best.events.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < best.events.size(); ++i) {
+      FaultSchedule cand = best;
+      cand.events.erase(cand.events.begin() + static_cast<long>(i));
+      const ChaosJobResult probe =
+          run_chaos_job(opts, workload, dase_fair, cand);
+      if (probe.outcome == failure) {
+        best = std::move(cand);
+        shrunk = true;
+        break;  // rescan from the front of the shrunk schedule
+      }
+    }
+  }
+  return best;
+}
+
+ChaosReport run_chaos_campaign(const ChaosOptions& opts) {
+  SIM_CHECK(opts.schedules >= 1,
+            SimError(SimErrorKind::kHarness, "harness.chaos",
+                     "schedules must be at least 1")
+                .detail("schedules", opts.schedules));
+  SIM_CHECK(opts.jobs >= 0,
+            SimError(SimErrorKind::kHarness, "harness.chaos",
+                     "jobs must be 0 (= hardware concurrency) or positive")
+                .detail("jobs", opts.jobs));
+
+  ChaosReport report;
+  report.schedules = opts.schedules;
+  report.seed = opts.seed;
+  report.cycles = opts.cycles;
+  report.recovery = opts.recovery;
+  report.jobs.resize(static_cast<std::size_t>(opts.schedules));
+
+  const std::vector<Workload> pairs = all_two_app_workloads();
+
+  std::ofstream checkpoint;
+  std::mutex checkpoint_mu;
+  if (!opts.checkpoint_path.empty()) {
+    // Resume: one complete JSONL line per finished job; torn or stale
+    // lines are skipped with a warning and their job re-runs.  Resumed
+    // lines are reused verbatim, which keeps interrupted + resumed
+    // reports byte-identical to uninterrupted ones.
+    std::ifstream in(opts.checkpoint_path);
+    std::string line;
+    int line_no = 0;
+    while (in && std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      ChaosOutcome outcome = ChaosOutcome::kRecovered;
+      const long idx = extract_int_field(line, "index");
+      if (line.back() != '}' || idx < 0 || idx >= opts.schedules ||
+          !outcome_from_string(extract_string_field(line, "outcome"),
+                               outcome)) {
+        std::fprintf(stderr,
+                     "gpusim: chaos checkpoint %s line %d is torn or stale — "
+                     "skipping it; the job will re-run\n",
+                     opts.checkpoint_path.c_str(), line_no);
+        continue;
+      }
+      ChaosJobResult& r = report.jobs[static_cast<std::size_t>(idx)];
+      r.index = static_cast<int>(idx);
+      r.outcome = outcome;
+      r.from_checkpoint = true;
+      r.json = line;
+    }
+    // Seal a torn tail line (crash mid-write) onto its own line so the
+    // next append cannot glue onto the fragment (same trick as the sweep
+    // checkpoint).
+    bool seal_torn_tail = false;
+    {
+      std::ifstream probe(opts.checkpoint_path, std::ios::binary);
+      if (probe && probe.seekg(0, std::ios::end) && probe.tellg() > 0) {
+        probe.seekg(-1, std::ios::end);
+        char last = '\n';
+        seal_torn_tail = probe.get(last) && last != '\n';
+      }
+    }
+    checkpoint.open(opts.checkpoint_path, std::ios::app);
+    SIM_CHECK(checkpoint.good(),
+              SimError(SimErrorKind::kHarness, "harness.chaos",
+                       "cannot open chaos checkpoint file for append")
+                  .detail("path", opts.checkpoint_path));
+    if (seal_torn_tail) checkpoint << "\n";
+  }
+  for (const ChaosJobResult& job : report.jobs) {
+    report.resumed += job.from_checkpoint ? 1 : 0;
+  }
+
+  int jobs = opts.jobs;
+  if (jobs == 0) {
+    jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  run_indexed(
+      static_cast<std::size_t>(opts.schedules), jobs,
+      [&](int, std::size_t i) {
+        ChaosJobResult& slot = report.jobs[i];
+        if (slot.from_checkpoint) return;
+        const Workload& workload = pairs[i % pairs.size()];
+        const bool dase_fair = (i % 2) == 1;
+        const FaultSchedule schedule = random_fault_schedule(
+            job_schedule_seed(opts.seed, i), opts.cycles,
+            opts.gpu.num_partitions, opts.max_events);
+        ChaosJobResult r = run_chaos_job(opts, workload, dase_fair, schedule);
+        r.index = static_cast<int>(i);
+        if (opts.minimize && r.outcome != ChaosOutcome::kRecovered) {
+          const FaultSchedule minimal = minimize_failing_schedule(
+              opts, workload, dase_fair, schedule, r.outcome);
+          r.minimized_schedule = minimal.to_string();
+          r.minimized_events = minimal.events.size();
+        }
+        r.replay = replay_command(
+            opts, r.workload,
+            r.minimized_schedule.empty() ? r.schedule : r.minimized_schedule,
+            dase_fair);
+        r.json = chaos_job_json(r);
+        if (checkpoint.is_open()) {
+          std::lock_guard<std::mutex> lock(checkpoint_mu);
+          checkpoint << r.json << "\n";
+          checkpoint.flush();
+        }
+        slot = std::move(r);
+      });
+
+  return report;
+}
+
+void write_chaos_report(const std::string& path, const ChaosReport& report) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    SIM_CHECK(out.good(), SimError(SimErrorKind::kHarness, "harness.chaos",
+                                   "cannot open chaos report for writing")
+                              .detail("path", tmp));
+    out << report.to_json();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace gpusim

@@ -50,6 +50,9 @@ u64 harness_context_of(const RunConfig& rc, const ModelSet& models,
     h.put_u64(sm_split->size());
     for (int v : *sm_split) h.put_i32(v);
   }
+  // An armed fault schedule shapes the run as much as the policy does; a
+  // snapshot taken under one schedule must not restore under another.
+  h.put_string(rc.faults.any() ? rc.faults.to_string() : std::string());
   return h.digest();
 }
 
@@ -249,12 +252,6 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   std::string snap_path;
   u64 fingerprint = 0;
   if (snapshotting || restoring) {
-    SIM_CHECK(!rc_.faults.any(),
-              SimError(SimErrorKind::kHarness, "harness.runner",
-                       "snapshot/restore is incompatible with fault "
-                       "injection — the injector draws from wall-clock call "
-                       "order, which a restore cannot reproduce")
-                  .detail("workload", workload.label()));
     fingerprint = simulation_fingerprint(
         sim, harness_context_of(rc_, models, policy, sm_split));
   }

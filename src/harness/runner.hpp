@@ -51,9 +51,10 @@ struct RunConfig {
   /// SimGuard: audit end-to-end request conservation after each co-run
   /// (skipped automatically when faults are being injected).
   bool verify_conservation = true;
-  /// SimGuard: faults to inject into the co-run (off by default; used by
-  /// tests and the CLI to exercise the watchdog and auditor).
-  FaultPlan faults;
+  /// SimGuard: fault schedule to inject into the co-run (empty by default;
+  /// used by tests, the chaos engine and the CLI to exercise the watchdog,
+  /// the auditor and the recovery path).
+  FaultSchedule faults;
 
   // ---- SimState checkpointing (see gpu/snapshot.hpp) ----
   /// Snapshot the co-run every this many cycles (0 disables).  Each
@@ -62,8 +63,9 @@ struct RunConfig {
   /// the co-run resumes from it mid-simulation (so a killed process picks
   /// up where it died), and the file is deleted once the co-run
   /// completes.  A stale or mismatched file is skipped with a warning.
-  /// Incompatible with fault injection (the injector's RNG is driven by
-  /// wall-clock call order, not simulated state).
+  /// Compatible with fault injection: the injector's progress counters and
+  /// RNG ride along in the snapshot, and the schedule is folded into the
+  /// snapshot fingerprint.
   Cycle snapshot_every = 0;
   /// Directory for auto-resume snapshot files (created if missing).
   std::string snapshot_dir = ".";

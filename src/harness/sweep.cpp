@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/sim_error.hpp"
+#include "harness/worker_pool.hpp"
 
 namespace gpusim {
 
@@ -279,62 +280,36 @@ std::vector<SweepEntry> SweepRunner::run(
     checkpoint.flush();
   };
 
-  if (jobs <= 1) {
-    // Legacy serial path: no threads, failures abort at the failing pair.
-    RunFn fn = factory_();
-    for (const std::size_t i : pending) {
-      SweepEntry entry = run_one(fn, workloads[i]);
-      attempts_spent_ += entry.attempts;
-      commit(entry);
-      if (!entry.ok && opts_.fail_fast) {
-        SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",
-                          "workload pair failed and fail_fast is set")
-                     .detail("workload", entry.label)
-                     .detail("attempts", entry.attempts)
-                     .detail("last_error", entry.error));
-      }
-      entries[i] = std::move(entry);
-    }
-    return entries;
-  }
-
-  // Parallel path: workers claim pending indices from an atomic cursor.
+  // Workers claim pending indices through the shared pool (worker_pool.hpp;
+  // jobs <= 1 runs inline with no threads).  Each worker owns its RunFn.
   // Under fail_fast a failure raises `abort`; in-progress pairs finish
   // (and checkpoint) but no new pair starts, then the lowest-index failure
   // is rethrown after the join so the error is deterministic.
+  const int n_fns = std::max(1, jobs);
   std::vector<RunFn> fns;
-  fns.reserve(jobs);
-  for (int w = 0; w < jobs; ++w) fns.push_back(factory_());
+  fns.reserve(n_fns);
+  for (int w = 0; w < n_fns; ++w) fns.push_back(factory_());
 
-  std::atomic<std::size_t> cursor{0};
   std::atomic<int> attempts_total{0};
   std::atomic<bool> abort{false};
   std::mutex failure_mu;
   std::size_t first_failed = workloads.size();  // min failed workload index
 
-  auto worker = [&](int w) {
-    const RunFn& fn = fns[w];
-    while (true) {
-      if (opts_.fail_fast && abort.load(std::memory_order_relaxed)) break;
-      const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (k >= pending.size()) break;
-      const std::size_t i = pending[k];
-      SweepEntry entry = run_one(fn, workloads[i]);
-      attempts_total.fetch_add(entry.attempts, std::memory_order_relaxed);
-      commit(entry);
-      if (!entry.ok && opts_.fail_fast) {
-        std::lock_guard<std::mutex> lock(failure_mu);
-        first_failed = std::min(first_failed, i);
-        abort.store(true, std::memory_order_relaxed);
-      }
-      entries[i] = std::move(entry);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(jobs);
-  for (int w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
-  for (std::thread& t : threads) t.join();
+  run_indexed(
+      pending.size(), jobs,
+      [&](int w, std::size_t k) {
+        const std::size_t i = pending[k];
+        SweepEntry entry = run_one(fns[w], workloads[i]);
+        attempts_total.fetch_add(entry.attempts, std::memory_order_relaxed);
+        commit(entry);
+        if (!entry.ok && opts_.fail_fast) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          first_failed = std::min(first_failed, i);
+          abort.store(true, std::memory_order_relaxed);
+        }
+        entries[i] = std::move(entry);
+      },
+      opts_.fail_fast ? &abort : nullptr);
   attempts_spent_ += attempts_total.load();
 
   if (opts_.fail_fast && first_failed < workloads.size()) {

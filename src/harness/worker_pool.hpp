@@ -1,0 +1,51 @@
+// Shared index-claiming worker pool.
+//
+// SweepRunner (PR 2) and the chaos campaign engine both fan independent
+// jobs across threads with the same scheme: workers claim pending indices
+// from one atomic cursor and write results into disjoint, index-addressed
+// slots, so the assembled output is identical for every worker count.
+// This header is that scheme, extracted once — any determinism argument
+// about "who ran what when" reduces to this single primitive.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace gpusim {
+
+/// Runs body(worker, index) once for every index in [0, n), distributed
+/// over `jobs` worker threads.  jobs <= 1 runs everything inline on the
+/// calling thread (as worker 0) — no threads are spawned, exceptions
+/// propagate directly.  With jobs > 1 the body runs on pool threads and
+/// must not throw (callers catch inside the body and record the failure).
+/// When `abort` is non-null, no new index is claimed once it turns true;
+/// bodies already in flight complete normally.
+inline void run_indexed(std::size_t n, int jobs,
+                        const std::function<void(int, std::size_t)>& body,
+                        const std::atomic<bool>* abort = nullptr) {
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
+      body(0, i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&](int w) {
+    while (true) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      body(w, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace gpusim

@@ -145,10 +145,7 @@ Cycle watchdog_fire_cycle(Cycle threshold) {
   sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
   sim.set_watchdog(threshold);
 
-  FaultPlan plan;
-  plan.stall_partition = 0;
-  plan.stall_from_cycle = 1'000;
-  FaultInjector injector(plan);
+  FaultInjector injector(FaultSchedule{}.stall_partition(0, 1'000));
   sim.gpu().set_fault_injector(&injector);
 
   try {

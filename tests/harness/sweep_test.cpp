@@ -103,6 +103,26 @@ TEST(SweepRunnerTest, FlakyPairIsRetriedUntilItSucceeds) {
   EXPECT_EQ(sweep.attempts_spent(), 5);
 }
 
+TEST(SweepRunnerTest, BackoffDelaysEachRetry) {
+  SweepOptions opts;
+  opts.max_attempts = 3;
+  opts.backoff_ms = 15;
+  int calls = 0;
+  SweepRunner sweep(opts, [&](const Workload& w) {
+    if (++calls < 3) throw std::runtime_error("transient failure");
+    return fake_result(w);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto entries = sweep.run(first_workloads(1));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].ok);
+  EXPECT_EQ(entries[0].attempts, 3);
+  // Linear backoff: 15 ms after the first failure + 30 ms after the second.
+  EXPECT_GE(elapsed.count(), 40);
+}
+
 TEST(SweepRunnerTest, PermanentFailureIsRecordedAndSweepContinues) {
   const auto workloads = first_workloads(3);
   const std::string bad = workloads[0].label();

@@ -1,0 +1,161 @@
+// Modeled timeout/retry recovery end-to-end: a dropped response must be
+// reissued and the run must complete with balanced books and finite
+// estimates; total response loss must exhaust the retry budget loudly
+// (typed SimError) instead of hanging; with recovery off the progress
+// watchdog must still prove the deadlock.  Each fault class lands on the
+// guard that owns it — nothing here depends on NDEBUG being unset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/sim_error.hpp"
+#include "dase/dase_model.hpp"
+#include "gpu/simulator.hpp"
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+std::vector<AppLaunch> two_app_launches() {
+  const auto& apps = app_registry();
+  return {AppLaunch{apps[0], 42}, AppLaunch{apps[1], 43}};
+}
+
+TEST(RecoveryTest, DroppedResponseIsReissuedAndRunCompletes) {
+  GpuConfig cfg;
+  cfg.mshr_retry_enabled = true;
+  cfg.mshr_retry_timeout = 5'000;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+
+  DaseModel dase;
+  sim.add_observer(&dase);
+
+  FaultInjector injector(FaultSchedule{}.drop_response_nth(200));
+  sim.gpu().set_fault_injector(&injector);
+
+  // Without recovery this exact schedule leaks one packet and strands a
+  // warp (see simguard_test).  With recovery on the SM times the miss out,
+  // reissues it, and the run must finish clean.
+  ASSERT_NO_THROW(sim.run(100'000));
+  EXPECT_EQ(injector.responses_dropped(), 1u);
+  EXPECT_EQ(sim.gpu().conservation_taps().retries_issued.grand_total(), 1u);
+
+  const AuditReport report = sim.gpu().audit_conservation();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  for (AppId a = 0; a < 2; ++a) {
+    const double s = dase.mean_slowdown(a);
+    EXPECT_TRUE(std::isfinite(s)) << "app " << a << " slowdown " << s;
+    EXPECT_GE(s, SlowdownEstimator::kMinSlowdown);
+    EXPECT_LE(s, SlowdownEstimator::kMaxSlowdown);
+  }
+  EXPECT_EQ(dase.sanitized_estimates(), 0u);
+}
+
+TEST(RecoveryTest, TotalResponseLossExhaustsRetryBudgetLoudly) {
+  GpuConfig cfg;
+  cfg.mshr_retry_enabled = true;
+  cfg.mshr_retry_timeout = 2'000;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+
+  // Every response vanishes.  Reissues keep the watchdog fed (they count
+  // as progress), so the retry budget is what must end the run: after
+  // mshr_retry_max doubled-deadline reissues the SM reports the line as
+  // unrecoverable instead of retrying forever.
+  FaultInjector injector(FaultSchedule{}.drop_response_prob(1.0));
+  sim.gpu().set_fault_injector(&injector);
+
+  try {
+    sim.run(400'000);
+    FAIL() << "total response loss did not exhaust the retry budget";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kRecoveryExhausted) << e.what();
+    EXPECT_GE(sim.gpu().conservation_taps().retries_issued.grand_total(),
+              static_cast<u64>(cfg.mshr_retry_max));
+  }
+}
+
+TEST(RecoveryTest, TotalResponseLossWithoutRecoveryIsProvenDeadlock) {
+  GpuConfig cfg;
+  ASSERT_FALSE(cfg.mshr_retry_enabled) << "recovery must default off";
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+  sim.set_watchdog(20'000);
+
+  FaultInjector injector(FaultSchedule{}.drop_response_prob(1.0));
+  sim.gpu().set_fault_injector(&injector);
+
+  try {
+    sim.run(400'000);
+    FAIL() << "watchdog did not catch the wedged machine";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kWatchdogStall) << e.what();
+  }
+  EXPECT_EQ(sim.gpu().conservation_taps().retries_issued.grand_total(), 0u);
+}
+
+TEST(RecoveryTest, NackedResponseDelaysButConserves) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+
+  // A NACK re-delivers the packet later instead of dropping it: the books
+  // must balance with no recovery machinery involved at all.
+  FaultInjector injector(FaultSchedule{}.nack_response(150, 300));
+  sim.gpu().set_fault_injector(&injector);
+
+  ASSERT_NO_THROW(sim.run(60'000));
+  EXPECT_EQ(injector.nacks_issued(), 1u);
+  const AuditReport report = sim.gpu().audit_conservation();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NO_THROW(sim.gpu().verify_conservation());
+}
+
+TEST(RecoveryTest, BitFlippedFillTripsInvariantGuard) {
+  GpuConfig cfg;
+  Simulation sim(cfg, two_app_launches());
+  sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
+
+  // Bit 40 pushes the fill address far outside any real line, so the
+  // MSHR release must fault on an unknown line immediately.
+  FaultInjector injector(FaultSchedule{}.bit_flip(100, 40));
+  sim.gpu().set_fault_injector(&injector);
+
+  try {
+    sim.run(60'000);
+    FAIL() << "corrupted fill address went unnoticed";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kInvariant) << e.what();
+  }
+  EXPECT_EQ(injector.flips_done(), 1u);
+}
+
+TEST(RecoveryTest, RecoveryPathIsDeterministic) {
+  // Same schedule, same seeds: two machines running the full
+  // drop -> timeout -> reissue -> absorb arc must stay hash-identical.
+  const FaultSchedule sched = FaultSchedule{}.drop_response_nth(200);
+  auto make = [](FaultInjector& inj) {
+    GpuConfig cfg;
+    cfg.mshr_retry_enabled = true;
+    cfg.mshr_retry_timeout = 5'000;
+    auto sim = std::make_unique<Simulation>(cfg, two_app_launches());
+    sim->gpu().set_partition(even_partition(cfg.num_sms, 2));
+    sim->gpu().set_fault_injector(&inj);
+    return sim;
+  };
+  FaultInjector ia(sched);
+  FaultInjector ib(sched);
+  auto a = make(ia);
+  auto b = make(ib);
+  a->run(80'000);
+  b->run(80'000);
+  EXPECT_EQ(a->state_hash(), b->state_hash());
+  EXPECT_EQ(ia.responses_dropped(), ib.responses_dropped());
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -53,9 +53,7 @@ TEST(SimGuardAudit, DroppedResponseIsReportedAsLeak) {
   sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
   Gpu& gpu = sim.gpu();
 
-  FaultPlan plan;
-  plan.drop_response_nth = 200;
-  FaultInjector injector(plan);
+  FaultInjector injector(FaultSchedule{}.drop_response_nth(200));
   gpu.set_fault_injector(&injector);
 
   sim.run(60'000);
@@ -81,9 +79,7 @@ TEST(SimGuardAudit, DroppedRequestIsReportedAsLeak) {
   sim.gpu().set_partition(even_partition(cfg.num_sms, 2));
   Gpu& gpu = sim.gpu();
 
-  FaultPlan plan;
-  plan.drop_request_nth = 100;
-  FaultInjector injector(plan);
+  FaultInjector injector(FaultSchedule{}.drop_request_nth(100));
   gpu.set_fault_injector(&injector);
 
   sim.run(60'000);
@@ -103,10 +99,7 @@ TEST(SimGuardWatchdog, StalledPartitionTripsWatchdogWithStateDump) {
   gpu.set_partition(even_partition(cfg.num_sms, 2));
   sim.set_watchdog(30'000);
 
-  FaultPlan plan;
-  plan.stall_partition = 0;
-  plan.stall_from_cycle = 1'000;
-  FaultInjector injector(plan);
+  FaultInjector injector(FaultSchedule{}.stall_partition(0, 1'000));
   gpu.set_fault_injector(&injector);
 
   try {
@@ -157,44 +150,71 @@ TEST(SimGuardWatchdog, IdleGpuIsNotADeadlock) {
 }
 
 TEST(SimGuardFaults, ProbabilisticDropsAreDeterministic) {
-  FaultPlan plan;
-  plan.drop_response_prob = 0.25;
-  plan.seed = 7;
+  const FaultSchedule plan =
+      FaultSchedule{}.drop_response_prob(0.25).with_seed(7);
   FaultInjector a(plan);
   FaultInjector b(plan);
-  for (int i = 0; i < 2'000; ++i) {
-    EXPECT_EQ(a.should_drop_response(), b.should_drop_response()) << i;
+  for (Cycle i = 0; i < 2'000; ++i) {
+    const ResponseDecision da = a.on_response(i);
+    const ResponseDecision db = b.on_response(i);
+    EXPECT_EQ(static_cast<int>(da.action), static_cast<int>(db.action)) << i;
   }
   EXPECT_EQ(a.responses_dropped(), b.responses_dropped());
   EXPECT_GT(a.responses_dropped(), 0u);
 }
 
 TEST(SimGuardFaults, EveryConfigCorruptionIsRejected) {
-  // corrupt_config flips exactly one field per seed; validate() must catch
-  // all of them before a Gpu can be built on garbage.
-  int rejected = 0;
-  for (u64 seed = 0; seed < 24; ++seed) {
+  // corrupt_config flips exactly one field per rule; validate() must catch
+  // every rule in the table before a Gpu can be built on garbage.
+  const std::size_t rules = corruption_rule_count();
+  ASSERT_GE(rules, 18u);
+  for (u64 seed = 0; seed < rules; ++seed) {
     GpuConfig cfg;
     corrupt_config(cfg, seed);
     try {
       cfg.validate();
-      ADD_FAILURE() << "corruption seed " << seed << " passed validate()";
+      ADD_FAILURE() << "corruption rule '" << corruption_rule_name(seed)
+                    << "' (seed " << seed << ") passed validate()";
     } catch (const std::invalid_argument&) {
-      ++rejected;
+      // expected: the corrupted field was rejected
     }
   }
-  EXPECT_EQ(rejected, 24);
 }
 
-TEST(SimGuardFaults, InactivePlanInjectsNothing) {
-  FaultPlan plan;  // all defaults: no faults
+TEST(SimGuardFaults, ScheduleSpecRoundTrips) {
+  const FaultSchedule plan = FaultSchedule{}
+                                 .drop_response_nth(200)
+                                 .drop_response_prob(0.125)
+                                 .drop_request_nth(100)
+                                 .stall_partition(1, 5'000, 9'000)
+                                 .bit_flip(40, 17)
+                                 .misroute_at(12'000)
+                                 .nack_response(60, 250)
+                                 .with_seed(99);
+  const std::string spec = plan.to_string();
+  const FaultSchedule back = FaultSchedule::parse(spec);
+  EXPECT_EQ(back.to_string(), spec);
+  ASSERT_EQ(back.events.size(), plan.events.size());
+  EXPECT_EQ(back.seed, plan.seed);
+
+  EXPECT_FALSE(FaultSchedule::parse("").any());
+  EXPECT_THROW(FaultSchedule::parse("no-such-kind:nth=1"), SimError);
+  EXPECT_THROW(FaultSchedule::parse("stall:part=0,from=10,until=5"), SimError);
+  EXPECT_THROW(FaultSchedule::parse("drop-resp:prob=1.5"), SimError);
+}
+
+TEST(SimGuardFaults, InactiveScheduleInjectsNothing) {
+  FaultSchedule plan;  // no events
   EXPECT_FALSE(plan.any());
   FaultInjector injector(plan);
-  for (int i = 0; i < 1'000; ++i) {
-    EXPECT_FALSE(injector.should_drop_response());
+  for (Cycle i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(static_cast<int>(injector.on_response(i).action),
+              static_cast<int>(ResponseAction::kDeliver));
     EXPECT_FALSE(injector.should_drop_request());
   }
   EXPECT_FALSE(injector.partition_stalled(0, 1'000'000));
+  EXPECT_EQ(injector.corrupt_fill_line(0x1234), 0x1234u);
+  EXPECT_FALSE(injector.misroute_due(1'000'000));
 }
 
 }  // namespace

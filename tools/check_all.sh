@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The one merge gate: tier-1 build + full test suite, then every
 # specialised checker — ASan/UBSan, TSan over the sweep worker pool, the
-# state-hash determinism audit, and the performance-regression gate.
+# state-hash determinism audit, a bounded chaos campaign, and the
+# performance-regression gate.
 # CI invokes exactly this script; run it locally before pushing anything
 # that touches simulator, harness or serialization code.
 #
@@ -18,24 +19,27 @@ if [[ "${1:-}" == "--skip-perf" ]]; then
   SKIP_PERF=1
 fi
 
-echo "===== [1/5] tier-1: build + ctest ====="
+echo "===== [1/6] tier-1: build + ctest ====="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
-echo "===== [2/5] determinism audit ====="
+echo "===== [2/6] determinism audit ====="
 tools/check_determinism.sh build
 
-echo "===== [3/5] ASan + UBSan ====="
+echo "===== [3/6] chaos campaign ====="
+tools/check_chaos.sh build
+
+echo "===== [4/6] ASan + UBSan ====="
 tools/check_sanitize.sh
 
-echo "===== [4/5] TSan (sweep worker pool) ====="
+echo "===== [5/6] TSan (sweep worker pool) ====="
 tools/check_tsan.sh
 
 if [[ "$SKIP_PERF" == "1" ]]; then
-  echo "===== [5/5] perf gate: SKIPPED ====="
+  echo "===== [6/6] perf gate: SKIPPED ====="
 else
-  echo "===== [5/5] perf gate ====="
+  echo "===== [6/6] perf gate ====="
   tools/check_perf.sh build
 fi
 

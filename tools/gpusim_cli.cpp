@@ -10,11 +10,15 @@
 //   gpusim_cli --apps SD,SA --snapshot-every 50000 --snapshot-dir snaps
 //   gpusim_cli --apps SD,SA --restore snaps/SD+SA.simstate
 //   gpusim_cli --apps SD,SA --audit-determinism
+//   gpusim_cli --chaos 50 --chaos-seed 7 --cycles 40000 --out chaos.json
+//   gpusim_cli --apps SD,SA --cycles 40000 --fault-schedule 'drop-resp:nth=200;seed=7'
 //   gpusim_cli --list-apps
 //   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
 //
-// Exit codes: 0 success, 2 usage error, 3 simulation error (SimError),
-// 4 determinism audit found a divergence.
+// Exit codes: 0 success, 1 sweep had failed pairs, 2 usage error,
+// 3 simulation error (SimError), 4 determinism audit found a divergence,
+// 5 sweep resumed past torn checkpoint lines (results complete, but a
+// prior run crashed mid-write).
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -26,9 +30,11 @@
 #include <vector>
 
 #include "common/config_io.hpp"
+#include "common/fault_injection.hpp"
 #include "common/sim_error.hpp"
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
+#include "harness/chaos.hpp"
 #include "harness/divergence.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
@@ -90,8 +96,29 @@ using namespace gpusim;
          "cycles; exit 4\n"
       << "                    and dump the diverging components on "
          "mismatch\n"
+      << "                    (combine with --fault-schedule to audit "
+         "under faults)\n"
       << "  --hash-every N    audit sampling period in cycles (default "
          "10000)\n"
+      << "  --chaos N         run a chaos campaign of N random fault "
+         "schedules across\n"
+      << "                    workload x policy jobs; classify every "
+         "outcome, minimize\n"
+      << "                    failures, write the report to --out "
+         "(default chaos_report.json)\n"
+      << "  --chaos-seed N    campaign master seed (default 1; identical "
+         "seeds give\n"
+      << "                    byte-identical reports for any --jobs)\n"
+      << "  --no-minimize     skip delta-debugging failing chaos "
+         "schedules\n"
+      << "  --no-recovery     disable the modeled MSHR timeout/retry "
+         "recovery path\n"
+      << "                    in chaos and --fault-schedule runs\n"
+      << "  --fault-schedule S  with --apps: run once under the fault "
+         "schedule spec S\n"
+      << "                    and print the chaos outcome classification "
+         "(replays a\n"
+      << "                    campaign reproducer exactly)\n"
       << "  --dump-config     print the default config file and exit\n"
       << "  --list-apps       print the application registry and exit\n";
   std::exit(2);
@@ -217,10 +244,80 @@ int run_sweep(const std::string& which, const RunConfig& rc,
                 << " attempts: " << e.error << '\n';
     }
   }
+  const int torn = sweep.torn_lines_skipped();
   std::cout << "sweep: " << entries.size() << " pairs ("
             << sweep.resumed() << " resumed from checkpoint, " << failed
-            << " failed), results in " << out_path << '\n';
-  return failed == 0 ? 0 : 1;
+            << " failed, " << torn
+            << " torn checkpoint lines skipped), results in " << out_path
+            << '\n';
+  // Torn lines mean a prior run crashed mid-write; the affected pairs
+  // re-ran and the results are complete, but signal it distinctly so
+  // automation can notice the crash.
+  if (failed != 0) return 1;
+  return torn != 0 ? 5 : 0;
+}
+
+int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
+              bool recovery, bool minimize, const std::string& checkpoint,
+              const std::string& out_path) {
+  ChaosOptions opts;
+  opts.gpu = rc.gpu;
+  opts.schedules = schedules;
+  opts.seed = chaos_seed;
+  opts.cycles = rc.co_run_cycles;
+  opts.jobs = jobs;
+  opts.recovery = recovery;
+  opts.minimize = minimize;
+  opts.checkpoint_path = checkpoint;
+  opts.base_seed = rc.base_seed;
+  const ChaosReport report = run_chaos_campaign(opts);
+  write_chaos_report(out_path, report);
+
+  std::cout << "chaos campaign: " << report.schedules << " schedules ("
+            << report.resumed << " resumed from checkpoint), recovery "
+            << (report.recovery ? "on" : "off") << "\n  outcomes: "
+            << report.count(ChaosOutcome::kRecovered) << " recovered, "
+            << report.count(ChaosOutcome::kGuardCaught) << " guard-caught, "
+            << report.count(ChaosOutcome::kWrongResult) << " wrong-result, "
+            << report.count(ChaosOutcome::kHang)
+            << " hang\n  report in " << out_path << '\n';
+  for (const ChaosJobResult& job : report.jobs) {
+    if (job.outcome == ChaosOutcome::kRecovered) continue;
+    std::cout << "  [" << job.index << "] " << job.workload << " "
+              << to_string(job.outcome);
+    if (!job.minimized_schedule.empty()) {
+      std::cout << " (minimized to " << job.minimized_events << " event"
+                << (job.minimized_events == 1 ? "" : "s") << ")";
+    }
+    std::cout << ": " << job.replay << '\n';
+  }
+  return 0;
+}
+
+int run_replay(const RunConfig& rc, const Workload& workload,
+               PolicyKind policy, const std::string& spec, bool recovery,
+               const char* argv0) {
+  if (policy != PolicyKind::kEven && policy != PolicyKind::kDaseFair) {
+    usage(argv0, "--fault-schedule replay supports --policy even|dase-fair");
+  }
+  ChaosOptions opts;
+  opts.gpu = rc.gpu;
+  opts.cycles = rc.co_run_cycles;
+  opts.recovery = recovery;
+  opts.base_seed = rc.base_seed;
+  const FaultSchedule schedule = FaultSchedule::parse(spec);
+  const ChaosJobResult r = run_chaos_job(
+      opts, workload, policy == PolicyKind::kDaseFair, schedule);
+  std::cout << "chaos replay: workload " << r.workload << ", policy "
+            << r.policy << ", " << opts.cycles << " cycles, recovery "
+            << (recovery ? "on" : "off") << "\n  schedule "
+            << (r.schedule.empty() ? "(empty)" : r.schedule)
+            << "\n  outcome " << to_string(r.outcome) << " — " << r.detail
+            << "\n  final_cycle " << r.final_cycle << ", retries_issued "
+            << r.retries_issued << ", duplicates_absorbed "
+            << r.duplicates_absorbed << ", sanitized_estimates "
+            << r.sanitized_estimates << '\n';
+  return 0;
 }
 
 /// Builds one co-run simulation for the determinism audit: the workload's
@@ -240,8 +337,16 @@ struct AuditSim {
     sim->gpu().set_partition(even_partition(
         sim->gpu().num_sms(), static_cast<int>(workload.apps.size())));
     sim->add_observer(dase.get());
+    if (rc.faults.any()) {
+      // Auditing under faults: both runs arm identical injectors, so the
+      // fault decisions (and the injector's serialized counters) must
+      // land on the same cycles in both — any divergence is a real bug.
+      injector = std::make_unique<FaultInjector>(rc.faults);
+      sim->gpu().set_fault_injector(injector.get());
+    }
   }
   std::unique_ptr<DaseModel> dase;
+  std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<Simulation> sim;
 };
 
@@ -276,10 +381,17 @@ int main(int argc, char** argv) {
   SweepOptions sweep_opts;
   sweep_opts.jobs = 0;  // CLI default: one worker per hardware thread
   std::string sweep_out = "sweep_results.json";
+  bool have_out = false;
   bool have_snapshot_dir = false;
   bool audit_determinism = false;
   Cycle hash_every = 10'000;
   bool have_hash_every = false;
+  int chaos_schedules = 0;
+  u64 chaos_seed = 1;
+  bool chaos_recovery = true;
+  bool chaos_minimize = true;
+  bool have_cycles = false;
+  std::string fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -291,6 +403,7 @@ int main(int argc, char** argv) {
       app_names = split_csv(next());
     } else if (arg == "--cycles") {
       rc.co_run_cycles = parse_u64(argv[0], arg, next(), 1);
+      have_cycles = true;
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "even") {
@@ -340,6 +453,7 @@ int main(int argc, char** argv) {
       sweep_opts.checkpoint_path = next();
     } else if (arg == "--out") {
       sweep_out = next();
+      have_out = true;
     } else if (arg == "--retries") {
       sweep_opts.max_attempts =
           static_cast<int>(parse_u64(argv[0], arg, next(), 1));
@@ -359,6 +473,16 @@ int main(int argc, char** argv) {
       rc.restore_path = next();
     } else if (arg == "--audit-determinism") {
       audit_determinism = true;
+    } else if (arg == "--chaos") {
+      chaos_schedules = static_cast<int>(parse_u64(argv[0], arg, next(), 1));
+    } else if (arg == "--chaos-seed") {
+      chaos_seed = parse_u64(argv[0], arg, next(), 0);
+    } else if (arg == "--no-minimize") {
+      chaos_minimize = false;
+    } else if (arg == "--no-recovery") {
+      chaos_recovery = false;
+    } else if (arg == "--fault-schedule") {
+      fault_spec = next();
     } else if (arg == "--hash-every") {
       hash_every = parse_u64(argv[0], arg, next(), 1);
       have_hash_every = true;
@@ -417,8 +541,29 @@ int main(int argc, char** argv) {
           "--restore is for single runs; sweeps auto-resume via "
           "--snapshot-every and --checkpoint");
   }
+  if (chaos_schedules > 0 &&
+      (!sweep_which.empty() || !app_names.empty() || audit_determinism ||
+       !rc.restore_path.empty() || rc.snapshot_every != 0)) {
+    usage(argv[0],
+          "--chaos is incompatible with --apps, --sweep, --restore, "
+          "--snapshot-every and --audit-determinism");
+  }
+  if (!fault_spec.empty() && !sweep_which.empty()) {
+    usage(argv[0], "--fault-schedule does not apply to sweeps");
+  }
+  if (!fault_spec.empty() && chaos_schedules > 0) {
+    usage(argv[0],
+          "--fault-schedule replays one schedule; --chaos generates its own");
+  }
 
   try {
+    if (chaos_schedules > 0) {
+      if (!have_cycles) rc.co_run_cycles = 40'000;  // chaos default budget
+      return run_chaos(rc, chaos_schedules, chaos_seed, sweep_opts.jobs,
+                       chaos_recovery, chaos_minimize,
+                       sweep_opts.checkpoint_path,
+                       have_out ? sweep_out : "chaos_report.json");
+    }
     if (!sweep_which.empty()) {
       if (!app_names.empty()) {
         usage(argv[0], "--sweep and --apps are mutually exclusive");
@@ -452,7 +597,12 @@ int main(int argc, char** argv) {
     }
 
     if (audit_determinism) {
+      if (!fault_spec.empty()) rc.faults = FaultSchedule::parse(fault_spec);
       return run_audit(rc, workload, hash_every);
+    }
+    if (!fault_spec.empty()) {
+      return run_replay(rc, workload, policy, fault_spec, chaos_recovery,
+                        argv[0]);
     }
 
     ExperimentRunner runner(rc);
