@@ -13,6 +13,10 @@ const char* to_string(SimErrorKind kind) {
     case SimErrorKind::kFault: return "fault";
     case SimErrorKind::kSnapshot: return "snapshot";
     case SimErrorKind::kRecoveryExhausted: return "recovery-exhausted";
+    case SimErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+    case SimErrorKind::kBudgetExceeded: return "budget-exceeded";
+    case SimErrorKind::kQuarantined: return "quarantined";
+    case SimErrorKind::kInterrupted: return "interrupted";
   }
   return "unknown";
 }

@@ -39,6 +39,10 @@ enum class SimErrorKind {
   kFault,          ///< raised by an injected fault on purpose
   kSnapshot,       ///< SimState snapshot format / integrity / mismatch error
   kRecoveryExhausted,  ///< modeled retry path gave up (capped reissues spent)
+  kDeadlineExceeded,   ///< wall-clock deadline passed mid-simulation
+  kBudgetExceeded,     ///< cycle or memory-traffic budget exhausted
+  kQuarantined,        ///< circuit breaker: config exceeded its failure limit
+  kInterrupted,        ///< cooperative cancellation (SIGINT/SIGTERM drain)
 };
 
 const char* to_string(SimErrorKind kind);

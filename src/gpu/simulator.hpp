@@ -4,6 +4,8 @@
 // scheduling policies, epoch drivers).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "gpu/gpu.hpp"
@@ -72,9 +74,39 @@ class Simulation {
   void set_fast_forward(bool on) { fast_forward_ = on; }
   bool fast_forward() const { return fast_forward_; }
 
+  // --- Run limits (JobManager hooks) ------------------------------------
+  // All limits are caller configuration, not simulated state: like the
+  // watchdog threshold they are neither serialized nor hashed, and hitting
+  // one raises a typed SimError instead of silently truncating the run.
+  // Limits are sampled at the same chunk boundaries as the watchdog (every
+  // kWatchdogCheckPeriod cycles at most), so the hot loop stays clean, and
+  // once more when run() returns normally, so even a short run sees at
+  // least one check.
+
+  /// Wall-clock deadline: run() throws SimError(kDeadlineExceeded) at the
+  /// first sampling point past `deadline`.  A default-constructed
+  /// time_point disables the check.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+  }
+  /// Absolute cycle cap: run() advances to `max_cycles` at most and throws
+  /// SimError(kBudgetExceeded) when the caller asked to go further.  0
+  /// disables the cap.
+  void set_cycle_budget(Cycle max_cycles) { cycle_budget_ = max_cycles; }
+  /// Memory-traffic cap: run() throws SimError(kBudgetExceeded) once the
+  /// total DRAM requests served across all partitions exceed `max_served`.
+  /// 0 disables the cap.
+  void set_mem_budget(u64 max_served) { mem_budget_ = max_served; }
+  /// Cooperative cancellation: run() throws SimError(kInterrupted) at the
+  /// first sampling point where `*cancel` is true (nullptr disables).  The
+  /// simulation state is intact and snapshot-able at the throw point —
+  /// graceful-shutdown drains rely on that.
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   /// Runs for `cycles`, firing interval boundaries as they pass.  Throws
   /// SimError(kWatchdogStall) with a full pipeline-state dump when the
-  /// watchdog detects a deadlock/livelock.
+  /// watchdog detects a deadlock/livelock, and the typed limit errors
+  /// described above when a configured limit trips.
   void run(Cycle cycles);
 
   /// Runs whole intervals until `app` has issued at least `target`
@@ -110,7 +142,13 @@ class Simulation {
  private:
   void maybe_fire_interval();
   void check_watchdog();
+  void check_limits();
+  bool limits_armed() const {
+    return cancel_ != nullptr || mem_budget_ != 0 ||
+           wall_deadline_ != std::chrono::steady_clock::time_point{};
+  }
   u64 progress_signature() const;
+  u64 total_requests_served() const;
 
   Gpu gpu_;
   Cycle interval_length_;
@@ -123,6 +161,11 @@ class Simulation {
   Cycle last_progress_cycle_ = 0;
   u64 last_progress_sig_ = 0;
   bool fast_forward_ = true;
+
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  Cycle cycle_budget_ = 0;
+  u64 mem_budget_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -253,6 +253,10 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
   Simulation sim(cfg, std::move(launches));
   sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), n));
   sim.set_watchdog(std::max<Cycle>(5'000, opts.cycles / 4));
+  if (opts.cancel != nullptr) sim.set_cancel(opts.cancel);
+  if (opts.wall_deadline != std::chrono::steady_clock::time_point{}) {
+    sim.set_wall_deadline(opts.wall_deadline);
+  }
   sim.add_observer(dase.get());
   sim.add_observer(mise.get());
   sim.add_observer(asm_model.get());
@@ -279,6 +283,13 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
   try {
     sim.run(opts.cycles);
   } catch (const SimError& e) {
+    // A drain interrupt or a lapsed campaign deadline is about the
+    // campaign, not this schedule: it must never be classified as a chaos
+    // outcome (the four classes describe the *simulator's* behaviour).
+    if (e.kind() == SimErrorKind::kInterrupted ||
+        e.kind() == SimErrorKind::kDeadlineExceeded) {
+      throw;
+    }
     collect();
     r.error_kind = to_string(e.kind());
     if (e.kind() == SimErrorKind::kWatchdogStall) {
@@ -440,23 +451,47 @@ ChaosReport run_chaos_campaign(const ChaosOptions& opts) {
     jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
 
+  std::atomic<bool> abort{false};
+  std::mutex fatal_mu;
+  std::size_t fatal_index = static_cast<std::size_t>(opts.schedules);
+  std::exception_ptr fatal;  // kInterrupted / kDeadlineExceeded
+
   run_indexed(
       static_cast<std::size_t>(opts.schedules), jobs,
       [&](int, std::size_t i) {
         ChaosJobResult& slot = report.jobs[i];
         if (slot.from_checkpoint) return;
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
         const Workload& workload = pairs[i % pairs.size()];
         const bool dase_fair = (i % 2) == 1;
         const FaultSchedule schedule = random_fault_schedule(
             job_schedule_seed(opts.seed, i), opts.cycles,
             opts.gpu.num_partitions, opts.max_events);
-        ChaosJobResult r = run_chaos_job(opts, workload, dase_fair, schedule);
-        r.index = static_cast<int>(i);
-        if (opts.minimize && r.outcome != ChaosOutcome::kRecovered) {
-          const FaultSchedule minimal = minimize_failing_schedule(
-              opts, workload, dase_fair, schedule, r.outcome);
-          r.minimized_schedule = minimal.to_string();
-          r.minimized_events = minimal.events.size();
+        ChaosJobResult r;
+        try {
+          r = run_chaos_job(opts, workload, dase_fair, schedule);
+          r.index = static_cast<int>(i);
+          if (opts.minimize && r.outcome != ChaosOutcome::kRecovered) {
+            const FaultSchedule minimal = minimize_failing_schedule(
+                opts, workload, dase_fair, schedule, r.outcome);
+            r.minimized_schedule = minimal.to_string();
+            r.minimized_events = minimal.events.size();
+          }
+        } catch (...) {
+          // Campaign-fatal (drain interrupt / deadline): this job is left
+          // unfinished — no checkpoint line — so a resumed campaign
+          // re-runs it; the lowest-index error is rethrown after the join.
+          std::lock_guard<std::mutex> lock(fatal_mu);
+          if (i < fatal_index) {
+            fatal_index = i;
+            fatal = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
         }
         r.replay = replay_command(
             opts, r.workload,
@@ -469,8 +504,10 @@ ChaosReport run_chaos_campaign(const ChaosOptions& opts) {
           checkpoint.flush();
         }
         slot = std::move(r);
-      });
+      },
+      &abort);
 
+  if (fatal) std::rethrow_exception(fatal);
   return report;
 }
 

@@ -26,6 +26,8 @@
 // resumed or not.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,15 @@ struct ChaosOptions {
   std::string checkpoint_path;
   /// Base seed for the workload applications (harness_app_seed).
   u64 base_seed = 42;
+  /// Graceful-shutdown flag: once true, no new schedule starts and the job
+  /// in flight raises SimError(kInterrupted) out of run_chaos_campaign
+  /// (never classified as a chaos outcome).  Finished jobs are already
+  /// flushed to the checkpoint, so rerunning resumes the campaign.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute wall-clock deadline for the whole campaign; crossing it
+  /// raises SimError(kDeadlineExceeded) out of run_chaos_campaign (again
+  /// never classified).  Default-constructed = none.
+  std::chrono::steady_clock::time_point wall_deadline{};
 };
 
 struct ChaosJobResult {

@@ -70,6 +70,21 @@ std::string snapshot_path_for(const std::string& dir,
   return (std::filesystem::path(dir) / (name + ".simstate")).string();
 }
 
+/// Applies the RunConfig's limit fields to one Simulation.  The cycle and
+/// memory budgets only guard the co-run (`co_run` true): alone replays are
+/// already capped by max_alone_cycles, and charging them against the job's
+/// budgets would make a run job's outcome depend on the alone-cache state.
+void apply_limits(const RunConfig& rc, Simulation& sim, bool co_run) {
+  if (rc.wall_deadline != std::chrono::steady_clock::time_point{}) {
+    sim.set_wall_deadline(rc.wall_deadline);
+  }
+  if (rc.cancel != nullptr) sim.set_cancel(rc.cancel);
+  if (co_run) {
+    if (rc.cycle_budget != 0) sim.set_cycle_budget(rc.cycle_budget);
+    if (rc.mem_budget != 0) sim.set_mem_budget(rc.mem_budget);
+  }
+}
+
 }  // namespace
 
 double AppResult::estimation_error_of(const std::string& model) const {
@@ -114,6 +129,7 @@ const AloneStats& ExperimentRunner::alone_stats(const KernelProfile& profile) {
 
   Simulation sim(rc_.gpu, {AppLaunch{profile, app_seed(rc_.base_seed, 0)}});
   sim.set_watchdog(rc_.watchdog_cycles);
+  apply_limits(rc_, sim, /*co_run=*/false);
   Gpu& gpu = sim.gpu();
   gpu.set_partition(even_partition(gpu.num_sms(), 1));
   sim.run(rc_.co_run_cycles);
@@ -142,9 +158,29 @@ Cycle ExperimentRunner::measure_alone_cycles(const KernelProfile& profile,
   Simulation sim(rc_.gpu, {AppLaunch{profile, seed}});
   Gpu& gpu = sim.gpu();
   gpu.set_partition(even_partition(gpu.num_sms(), 1));
+  const bool limited =
+      rc_.cancel != nullptr ||
+      rc_.wall_deadline != std::chrono::steady_clock::time_point{};
   while (gpu.instructions().total(0) < target_instructions &&
          gpu.now() < rc_.max_alone_cycles) {
     gpu.cycle();
+    // This loop bypasses Simulation::run, so sample the deadline/cancel
+    // limits here at the watchdog cadence.
+    if (limited && gpu.now() % 1024 == 0) {
+      if (rc_.cancel != nullptr &&
+          rc_.cancel->load(std::memory_order_relaxed)) {
+        SIM_FAIL(SimError(SimErrorKind::kInterrupted, "harness.runner",
+                          "cancellation requested during an alone replay")
+                     .cycle(gpu.now()));
+      }
+      if (rc_.wall_deadline != std::chrono::steady_clock::time_point{} &&
+          std::chrono::steady_clock::now() >= rc_.wall_deadline) {
+        SIM_FAIL(SimError(SimErrorKind::kDeadlineExceeded, "harness.runner",
+                          "wall-clock deadline passed during an alone "
+                          "replay")
+                     .cycle(gpu.now()));
+      }
+    }
   }
   return gpu.now();
 }
@@ -169,6 +205,7 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
 
   Simulation sim(rc_.gpu, std::move(launches));
   sim.set_watchdog(rc_.watchdog_cycles);
+  apply_limits(rc_, sim, /*co_run=*/true);
   Gpu& gpu = sim.gpu();
 
   FaultInjector injector(rc_.faults);
@@ -293,15 +330,26 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   if (!snapshotting) {
     if (gpu.now() < rc_.co_run_cycles) sim.run(rc_.co_run_cycles - gpu.now());
   } else {
-    while (gpu.now() < rc_.co_run_cycles) {
-      const Cycle stride =
-          std::min<Cycle>(rc_.snapshot_every, rc_.co_run_cycles - gpu.now());
-      sim.run(stride);
-      // No snapshot after the final stride: the result is about to be
-      // reported and the resume point deleted anyway.
-      if (gpu.now() < rc_.co_run_cycles) {
+    try {
+      while (gpu.now() < rc_.co_run_cycles) {
+        const Cycle stride = std::min<Cycle>(rc_.snapshot_every,
+                                             rc_.co_run_cycles - gpu.now());
+        sim.run(stride);
+        // No snapshot after the final stride: the result is about to be
+        // reported and the resume point deleted anyway.
+        if (gpu.now() < rc_.co_run_cycles) {
+          write_snapshot_file(snap_path, sim, fingerprint);
+        }
+      }
+    } catch (const SimError& e) {
+      // Graceful shutdown: a cancellation leaves the simulation intact at
+      // the interrupt cycle, so persist that exact state before
+      // propagating — the resumed run picks it up mid-stride and finishes
+      // byte-identically (snapshot timing never shapes simulated state).
+      if (e.kind() == SimErrorKind::kInterrupted) {
         write_snapshot_file(snap_path, sim, fingerprint);
       }
+      throw;
     }
     std::error_code ec;
     std::filesystem::remove(snap_path, ec);

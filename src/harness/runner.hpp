@@ -6,6 +6,8 @@
 // estimates alongside.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -72,6 +74,25 @@ struct RunConfig {
   /// Restore the co-run from this exact snapshot file before running
   /// (single-run use; unlike auto-resume, any restore failure is fatal).
   std::string restore_path;
+
+  // ---- JobManager run limits (see gpu/simulator.hpp) --------------------
+  /// Absolute wall-clock deadline applied to every Simulation this runner
+  /// drives (co-run and alone replays).  Crossing it raises
+  /// SimError(kDeadlineExceeded).  Default-constructed = no deadline.
+  /// Absolute (not per-run) on purpose: a sweep job's pairs all share the
+  /// job's one deadline.
+  std::chrono::steady_clock::time_point wall_deadline{};
+  /// Cycle cap per Simulation; raises SimError(kBudgetExceeded).  Guards
+  /// runaway alone-replays as well as the co-run.  0 = none.
+  Cycle cycle_budget = 0;
+  /// DRAM requests-served cap per Simulation; raises
+  /// SimError(kBudgetExceeded).  0 = none.
+  u64 mem_budget = 0;
+  /// Cooperative cancellation flag (typically the process shutdown flag).
+  /// When it turns true the co-run raises SimError(kInterrupted) at the
+  /// next sampling point; with snapshotting enabled, a snapshot is written
+  /// first so a resumed run continues byte-identically.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ModelSet {

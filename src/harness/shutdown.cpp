@@ -1,0 +1,48 @@
+#include "harness/shutdown.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace gpusim {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal_count{0};
+std::atomic<bool> g_installed{false};
+
+// Async-signal-safe by construction: lock-free atomic stores and _exit()
+// only.  The first signal requests the drain; the second means the
+// operator is done waiting — exit immediately with the conventional
+// 128 + SIGINT status.
+void on_shutdown_signal(int /*signum*/) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) > 0) {
+    _exit(130);
+  }
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  if (g_installed.exchange(true)) return;
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls return EINTR promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* shutdown_flag() { return &g_shutdown; }
+
+void reset_shutdown_for_tests() {
+  g_shutdown.store(false, std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gpusim

@@ -169,6 +169,21 @@ SweepEntry SweepRunner::run_one(const RunFn& fn, const Workload& workload) {
       entry.ok = true;
       entry.result_json = to_json(result);
       break;
+    } catch (const SimError& e) {
+      // Sweep-fatal conditions: an operator interrupt or a lapsed job
+      // deadline is about the *sweep*, not this pair — recording it as a
+      // pair failure would poison the checkpoint (the pair would replay as
+      // "failed" forever).  Propagate instead; run() rethrows after the
+      // workers drain.
+      if (e.kind() == SimErrorKind::kInterrupted ||
+          e.kind() == SimErrorKind::kDeadlineExceeded) {
+        throw;
+      }
+      entry.error = e.what();
+      if (attempt < opts_.max_attempts && opts_.backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts_.backoff_ms * attempt));
+      }
     } catch (const std::exception& e) {
       entry.error = e.what();
       if (attempt < opts_.max_attempts && opts_.backoff_ms > 0) {
@@ -294,12 +309,35 @@ std::vector<SweepEntry> SweepRunner::run(
   std::atomic<bool> abort{false};
   std::mutex failure_mu;
   std::size_t first_failed = workloads.size();  // min failed workload index
+  std::size_t fatal_index = workloads.size();   // min sweep-fatal index
+  std::exception_ptr fatal;                     // kInterrupted / kDeadline…
 
   run_indexed(
       pending.size(), jobs,
       [&](int w, std::size_t k) {
         const std::size_t i = pending[k];
-        SweepEntry entry = run_one(fns[w], workloads[i]);
+        // Graceful shutdown: drain — claimed-but-not-started pairs are
+        // simply left pending for the next resume.
+        if (opts_.cancel != nullptr &&
+            opts_.cancel->load(std::memory_order_relaxed)) {
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        SweepEntry entry;
+        try {
+          entry = run_one(fns[w], workloads[i]);
+        } catch (...) {
+          // Sweep-fatal (interrupt / deadline): record the lowest-index
+          // one and stop claiming; the pair is NOT committed to the
+          // checkpoint, so a resume re-runs it.
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (i < fatal_index) {
+            fatal_index = i;
+            fatal = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
         attempts_total.fetch_add(entry.attempts, std::memory_order_relaxed);
         commit(entry);
         if (!entry.ok && opts_.fail_fast) {
@@ -309,9 +347,10 @@ std::vector<SweepEntry> SweepRunner::run(
         }
         entries[i] = std::move(entry);
       },
-      opts_.fail_fast ? &abort : nullptr);
+      &abort);
   attempts_spent_ += attempts_total.load();
 
+  if (fatal) std::rethrow_exception(fatal);
   if (opts_.fail_fast && first_failed < workloads.size()) {
     const SweepEntry& entry = entries[first_failed];
     SIM_FAIL(SimError(SimErrorKind::kHarness, "harness.sweep",

@@ -29,6 +29,7 @@
 //     value, interrupted or not.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -54,6 +55,13 @@ struct SweepOptions {
   /// worker per hardware thread.  Results are byte-identical for every
   /// value.
   int jobs = 1;
+  /// Graceful-shutdown flag: once true, no new pair starts; already
+  /// finished pairs have their checkpoint line flushed, so rerunning the
+  /// same sweep resumes exactly where the drain stopped.  Combine with
+  /// RunConfig::cancel (in the RunFn's runner) to also interrupt the pair
+  /// in flight — that interruption propagates out of run() as
+  /// SimError(kInterrupted) rather than being recorded as a pair failure.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of one workload pair within a sweep.

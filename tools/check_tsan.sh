@@ -6,13 +6,14 @@
 #
 #   tools/check_tsan.sh [build-dir]            (default: build-tsan)
 #
-# Runs only the harness sweep tests by default (a full TSan suite run is
-# slow); pass a ctest -R pattern as $2 to widen.
+# Runs only the concurrency-heavy tests by default — the sweep worker
+# pool, the bounded result queue, and the JobManager batch tests (a full
+# TSan suite run is slow); pass a ctest -R pattern as $2 to widen.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
-FILTER="${2:-sweep}"
+FILTER="${2:-sweep|bounded_queue|job_manager|jobs_kill_resume}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -12,13 +12,17 @@
 //   gpusim_cli --apps SD,SA --audit-determinism
 //   gpusim_cli --chaos 50 --chaos-seed 7 --cycles 40000 --out chaos.json
 //   gpusim_cli --apps SD,SA --cycles 40000 --fault-schedule 'drop-resp:nth=200;seed=7'
+//   gpusim_cli --job-file batch.jobs --manifest batch.manifest.jsonl
+//   gpusim_cli --jobs-resume batch.manifest.jsonl
 //   gpusim_cli --list-apps
 //   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
 //
-// Exit codes: 0 success, 1 sweep had failed pairs, 2 usage error,
-// 3 simulation error (SimError), 4 determinism audit found a divergence,
-// 5 sweep resumed past torn checkpoint lines (results complete, but a
-// prior run crashed mid-write).
+// The flag list, the --help text and the exit-code contract all come from
+// one table (src/harness/cli_flags.hpp): run `gpusim_cli --help` for the
+// authoritative version of both.  SIGINT/SIGTERM drain gracefully in every
+// mode — in-flight checkpoint lines flush whole, single runs snapshot, and
+// the process exits 6 with everything resumable; a second signal exits
+// immediately.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -35,8 +39,11 @@
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
 #include "harness/chaos.hpp"
+#include "harness/cli_flags.hpp"
 #include "harness/divergence.hpp"
+#include "harness/job_manager.hpp"
 #include "harness/runner.hpp"
+#include "harness/shutdown.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table_printer.hpp"
 #include "kernels/app_registry.hpp"
@@ -47,80 +54,7 @@ using namespace gpusim;
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr
-      << "usage: " << argv0 << " --apps A,B[,C,D] [options]\n"
-      << "       " << argv0 << " --sweep all|random:N [options]\n"
-      << "\n"
-      << "  --apps LIST       comma-separated Table III abbreviations\n"
-      << "  --cycles N        co-run length in cycles (default 300000)\n"
-      << "  --policy P        even | dase-fair | leftover | temporal | qos\n"
-      << "  --split N1,N2,..  static SM counts per app (overrides policy "
-         "partitioning)\n"
-      << "  --models LIST     estimators to attach: dase,mise,asm "
-         "(default dase)\n"
-      << "  --qos-target X    slowdown target for --policy qos "
-         "(default 2.0)\n"
-      << "  --quantum N       temporal-multitasking quantum (default "
-         "100000)\n"
-      << "  --seed N          workload seed (default 42)\n"
-      << "  --alone MODE      replay | cached (default replay)\n"
-      << "  --config FILE     load a GpuConfig key=value file\n"
-      << "  --watchdog N      deadlock watchdog threshold in cycles "
-         "(0 disables; default 1000000)\n"
-      << "  --sweep WHICH     run a crash-safe two-app sweep: 'all' (105 "
-         "pairs) or 'random:N'\n"
-      << "  --checkpoint F    sweep JSONL checkpoint (resume from it if "
-         "present)\n"
-      << "  --out F           sweep final results JSON (default "
-         "sweep_results.json)\n"
-      << "  --retries N       sweep attempts per pair (default 3)\n"
-      << "  --backoff-ms N    sweep retry backoff in ms (default 0)\n"
-      << "  --fail-fast       abort the sweep on the first failed pair\n"
-      << "  --jobs N          sweep worker threads (default: one per "
-         "hardware thread;\n"
-      << "                    1 = serial; results are byte-identical for "
-         "any N)\n"
-      << "  --snapshot-every N  write a SimState snapshot every N cycles "
-         "(auto-resumes\n"
-      << "                    from it after a crash; works for --apps and "
-         "--sweep runs)\n"
-      << "  --snapshot-dir D  directory for snapshot files (default '.'; "
-         "requires\n"
-      << "                    --snapshot-every)\n"
-      << "  --restore FILE    restore a single run from this snapshot "
-         "before running\n"
-      << "                    (incompatible with --sweep)\n"
-      << "  --audit-determinism  run the workload twice (fast-forward on "
-         "vs off),\n"
-      << "                    compare state hashes every --hash-every "
-         "cycles; exit 4\n"
-      << "                    and dump the diverging components on "
-         "mismatch\n"
-      << "                    (combine with --fault-schedule to audit "
-         "under faults)\n"
-      << "  --hash-every N    audit sampling period in cycles (default "
-         "10000)\n"
-      << "  --chaos N         run a chaos campaign of N random fault "
-         "schedules across\n"
-      << "                    workload x policy jobs; classify every "
-         "outcome, minimize\n"
-      << "                    failures, write the report to --out "
-         "(default chaos_report.json)\n"
-      << "  --chaos-seed N    campaign master seed (default 1; identical "
-         "seeds give\n"
-      << "                    byte-identical reports for any --jobs)\n"
-      << "  --no-minimize     skip delta-debugging failing chaos "
-         "schedules\n"
-      << "  --no-recovery     disable the modeled MSHR timeout/retry "
-         "recovery path\n"
-      << "                    in chaos and --fault-schedule runs\n"
-      << "  --fault-schedule S  with --apps: run once under the fault "
-         "schedule spec S\n"
-      << "                    and print the chaos outcome classification "
-         "(replays a\n"
-      << "                    campaign reproducer exactly)\n"
-      << "  --dump-config     print the default config file and exit\n"
-      << "  --list-apps       print the application registry and exit\n";
+  std::cerr << render_usage(argv0);
   std::exit(2);
 }
 
@@ -234,6 +168,13 @@ int run_sweep(const std::string& which, const RunConfig& rc,
                       };
                     }));
   const std::vector<SweepEntry> entries = sweep.run(workloads);
+  if (shutdown_requested()) {
+    std::cerr << "gpusim: sweep interrupted — finished pairs are in "
+              << (opts.checkpoint_path.empty() ? std::string("(no checkpoint)")
+                                               : opts.checkpoint_path)
+              << "; rerun the same command to resume\n";
+    return 6;
+  }
   SweepRunner::write_results(out_path, entries);
 
   int failed = 0;
@@ -270,7 +211,16 @@ int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
   opts.minimize = minimize;
   opts.checkpoint_path = checkpoint;
   opts.base_seed = rc.base_seed;
+  opts.cancel = shutdown_flag();
   const ChaosReport report = run_chaos_campaign(opts);
+  if (shutdown_requested()) {
+    std::cerr << "gpusim: chaos campaign interrupted — finished schedules "
+              << "are in "
+              << (checkpoint.empty() ? std::string("(no checkpoint)")
+                                     : checkpoint)
+              << "; rerun the same command to resume\n";
+    return 6;
+  }
   write_chaos_report(out_path, report);
 
   std::cout << "chaos campaign: " << report.schedules << " schedules ("
@@ -318,6 +268,37 @@ int run_replay(const RunConfig& rc, const Workload& workload,
             << r.duplicates_absorbed << ", sanitized_estimates "
             << r.sanitized_estimates << '\n';
   return 0;
+}
+
+int run_jobs(const JobManagerOptions& opts, const std::string& job_file,
+             const std::string& out_path) {
+  JobManager manager(opts);
+  const JobBatchReport report =
+      job_file.empty() ? manager.resume()
+                       : manager.run(parse_job_file(job_file));
+
+  if (report.interrupted) {
+    std::cerr << "gpusim: job batch interrupted — " << report.ok +
+                     report.failed + report.quarantined
+              << " of " << report.total << " jobs finished; resume with:\n"
+              << "  gpusim_cli --jobs-resume " << opts.manifest_path << '\n';
+    return report.exit_code();
+  }
+  write_job_report(out_path, report);
+
+  std::cout << "job batch: " << report.total << " jobs (" << report.ok
+            << " ok, " << report.failed << " failed, " << report.quarantined
+            << " quarantined), report in " << out_path << '\n';
+  for (const JobResult& r : report.jobs) {
+    if (r.status == JobStatus::kOk) continue;
+    std::cout << "  [" << r.index << "] " << to_string(r.status) << " ("
+              << r.error_kind << "): " << r.error_message;
+    if (!r.reproducer.empty()) std::cout << "\n      replay: " << r.reproducer;
+    std::cout << '\n';
+  }
+  const int code = report.exit_code();
+  if (code == 0 && manager.torn_lines_skipped() != 0) return 5;
+  return code;
 }
 
 /// Builds one co-run simulation for the determinism audit: the workload's
@@ -370,6 +351,11 @@ int run_audit(const RunConfig& rc, const Workload& workload,
 int main(int argc, char** argv) {
   using namespace gpusim;
 
+  // Every mode drains on SIGINT/SIGTERM: the unit of work in flight
+  // finishes (or snapshots), its checkpoint line flushes whole, and we
+  // exit 6 resumable.  A second signal hard-exits.
+  install_shutdown_handlers();
+
   std::vector<std::string> app_names;
   RunConfig rc;
   rc.co_run_cycles = 300'000;
@@ -380,7 +366,7 @@ int main(int argc, char** argv) {
   std::string sweep_which;
   SweepOptions sweep_opts;
   sweep_opts.jobs = 0;  // CLI default: one worker per hardware thread
-  std::string sweep_out = "sweep_results.json";
+  std::string out_path = "sweep_results.json";
   bool have_out = false;
   bool have_snapshot_dir = false;
   bool audit_determinism = false;
@@ -392,137 +378,202 @@ int main(int argc, char** argv) {
   bool chaos_minimize = true;
   bool have_cycles = false;
   std::string fault_spec;
+  std::string job_file;
+  std::string jobs_resume;
+  std::string manifest_path;
+  double deadline_ms = 0.0;
+  int job_max_retries = 2;
+  int quarantine_after = 3;
+  bool have_backoff = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
+    const FlagInfo* flag = find_flag(arg);
+    if (flag == nullptr) usage(argv[0], "unknown flag: " + arg);
+    std::string value;
+    if (flag->value_name != nullptr) {
       if (i + 1 >= argc) usage(argv[0], arg + " needs a value");
-      return argv[++i];
-    };
-    if (arg == "--apps") {
-      app_names = split_csv(next());
-    } else if (arg == "--cycles") {
-      rc.co_run_cycles = parse_u64(argv[0], arg, next(), 1);
-      have_cycles = true;
-    } else if (arg == "--policy") {
-      const std::string p = next();
-      if (p == "even") {
-        policy = PolicyKind::kEven;
-      } else if (p == "dase-fair") {
-        policy = PolicyKind::kDaseFair;
-      } else if (p == "leftover") {
-        policy = PolicyKind::kLeftover;
-      } else if (p == "temporal") {
-        policy = PolicyKind::kTemporal;
-      } else if (p == "qos") {
-        policy = PolicyKind::kDaseQos;
-      } else {
-        usage(argv[0], "unknown policy: " + p);
-      }
-    } else if (arg == "--split") {
-      split.clear();
-      for (const std::string& n : split_csv(next())) {
-        split.push_back(
-            static_cast<int>(parse_u64(argv[0], "--split entry", n, 1)));
-      }
-      have_split = true;
-    } else if (arg == "--models") {
-      models = ModelSet{};
-      for (const std::string& m : split_csv(next())) {
-        if (m == "dase") {
-          models.dase = true;
-        } else if (m == "mise") {
-          models.mise = true;
-        } else if (m == "asm") {
-          models.asm_model = true;
+      value = argv[++i];
+    }
+    switch (flag->id) {
+      case FlagId::kApps:
+        app_names = split_csv(value);
+        break;
+      case FlagId::kCycles:
+        rc.co_run_cycles = parse_u64(argv[0], arg, value, 1);
+        have_cycles = true;
+        break;
+      case FlagId::kPolicy:
+        if (value == "even") {
+          policy = PolicyKind::kEven;
+        } else if (value == "dase-fair") {
+          policy = PolicyKind::kDaseFair;
+        } else if (value == "leftover") {
+          policy = PolicyKind::kLeftover;
+        } else if (value == "temporal") {
+          policy = PolicyKind::kTemporal;
+        } else if (value == "qos") {
+          policy = PolicyKind::kDaseQos;
         } else {
-          usage(argv[0], "unknown model: " + m);
+          usage(argv[0], "unknown policy: " + value);
         }
+        break;
+      case FlagId::kSplit:
+        split.clear();
+        for (const std::string& n : split_csv(value)) {
+          split.push_back(
+              static_cast<int>(parse_u64(argv[0], "--split entry", n, 1)));
+        }
+        have_split = true;
+        break;
+      case FlagId::kModels:
+        models = ModelSet{};
+        for (const std::string& m : split_csv(value)) {
+          if (m == "dase") {
+            models.dase = true;
+          } else if (m == "mise") {
+            models.mise = true;
+          } else if (m == "asm") {
+            models.asm_model = true;
+          } else {
+            usage(argv[0], "unknown model: " + m);
+          }
+        }
+        break;
+      case FlagId::kQosTarget:
+        rc.qos.target_slowdown = parse_positive_double(argv[0], arg, value);
+        break;
+      case FlagId::kQuantum:
+        rc.temporal.quantum = parse_u64(argv[0], arg, value, 1);
+        break;
+      case FlagId::kSeed:
+        rc.base_seed = parse_u64(argv[0], arg, value, 0);
+        break;
+      case FlagId::kWatchdog:
+        rc.watchdog_cycles = parse_u64(argv[0], arg, value, 0);
+        break;
+      case FlagId::kDeadlineMs:
+        deadline_ms = parse_positive_double(argv[0], arg, value);
+        break;
+      case FlagId::kCycleBudget:
+        rc.cycle_budget = parse_u64(argv[0], arg, value, 1);
+        break;
+      case FlagId::kMemBudget:
+        rc.mem_budget = parse_u64(argv[0], arg, value, 1);
+        break;
+      case FlagId::kSweep:
+        sweep_which = value;
+        break;
+      case FlagId::kCheckpoint:
+        sweep_opts.checkpoint_path = value;
+        break;
+      case FlagId::kOut:
+        out_path = value;
+        have_out = true;
+        break;
+      case FlagId::kRetries:
+        sweep_opts.max_attempts =
+            static_cast<int>(parse_u64(argv[0], arg, value, 1));
+        break;
+      case FlagId::kBackoffMs:
+        sweep_opts.backoff_ms =
+            static_cast<int>(parse_u64(argv[0], arg, value, 0));
+        have_backoff = true;
+        break;
+      case FlagId::kFailFast:
+        sweep_opts.fail_fast = true;
+        break;
+      case FlagId::kJobs:
+        sweep_opts.jobs = static_cast<int>(parse_u64(argv[0], arg, value, 1));
+        break;
+      case FlagId::kSnapshotEvery:
+        rc.snapshot_every = parse_u64(argv[0], arg, value, 1);
+        break;
+      case FlagId::kSnapshotDir:
+        rc.snapshot_dir = value;
+        have_snapshot_dir = true;
+        break;
+      case FlagId::kRestore:
+        rc.restore_path = value;
+        break;
+      case FlagId::kAuditDeterminism:
+        audit_determinism = true;
+        break;
+      case FlagId::kHashEvery:
+        hash_every = parse_u64(argv[0], arg, value, 1);
+        have_hash_every = true;
+        break;
+      case FlagId::kChaos:
+        chaos_schedules = static_cast<int>(parse_u64(argv[0], arg, value, 1));
+        break;
+      case FlagId::kChaosSeed:
+        chaos_seed = parse_u64(argv[0], arg, value, 0);
+        break;
+      case FlagId::kNoMinimize:
+        chaos_minimize = false;
+        break;
+      case FlagId::kNoRecovery:
+        chaos_recovery = false;
+        break;
+      case FlagId::kFaultSchedule:
+        fault_spec = value;
+        break;
+      case FlagId::kJobFile:
+        job_file = value;
+        break;
+      case FlagId::kJobsResume:
+        jobs_resume = value;
+        break;
+      case FlagId::kManifest:
+        manifest_path = value;
+        break;
+      case FlagId::kMaxRetries:
+        job_max_retries = static_cast<int>(parse_u64(argv[0], arg, value, 0));
+        break;
+      case FlagId::kQuarantineAfter:
+        quarantine_after =
+            static_cast<int>(parse_u64(argv[0], arg, value, 1));
+        break;
+      case FlagId::kAlone:
+        if (value == "replay") {
+          rc.alone_mode = RunConfig::AloneMode::kExactReplay;
+        } else if (value == "cached") {
+          rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+        } else {
+          usage(argv[0], "unknown alone mode: " + value);
+        }
+        break;
+      case FlagId::kConfig:
+        try {
+          rc.gpu = load_config(value, rc.gpu);
+        } catch (const std::exception& e) {
+          usage(argv[0], e.what());
+        }
+        break;
+      case FlagId::kDumpConfig:
+        write_config(std::cout, GpuConfig{});
+        return 0;
+      case FlagId::kListApps: {
+        TablePrinter table({"abbr", "name", "Table3 BW", "warps/blk",
+                            "mem_frac"},
+                           14);
+        table.print_header();
+        for (const KernelProfile& app : app_registry()) {
+          table.print_row(app.abbr, app.name.substr(0, 13),
+                          TablePrinter::pct(app.table3_bw_util, 0),
+                          app.warps_per_block,
+                          TablePrinter::num(app.mem_fraction, 3));
+        }
+        return 0;
       }
-    } else if (arg == "--qos-target") {
-      rc.qos.target_slowdown = parse_positive_double(argv[0], arg, next());
-    } else if (arg == "--quantum") {
-      rc.temporal.quantum = parse_u64(argv[0], arg, next(), 1);
-    } else if (arg == "--seed") {
-      rc.base_seed = parse_u64(argv[0], arg, next(), 0);
-    } else if (arg == "--watchdog") {
-      rc.watchdog_cycles = parse_u64(argv[0], arg, next(), 0);
-    } else if (arg == "--sweep") {
-      sweep_which = next();
-    } else if (arg == "--checkpoint") {
-      sweep_opts.checkpoint_path = next();
-    } else if (arg == "--out") {
-      sweep_out = next();
-      have_out = true;
-    } else if (arg == "--retries") {
-      sweep_opts.max_attempts =
-          static_cast<int>(parse_u64(argv[0], arg, next(), 1));
-    } else if (arg == "--backoff-ms") {
-      sweep_opts.backoff_ms =
-          static_cast<int>(parse_u64(argv[0], arg, next(), 0));
-    } else if (arg == "--fail-fast") {
-      sweep_opts.fail_fast = true;
-    } else if (arg == "--jobs") {
-      sweep_opts.jobs = static_cast<int>(parse_u64(argv[0], arg, next(), 1));
-    } else if (arg == "--snapshot-every") {
-      rc.snapshot_every = parse_u64(argv[0], arg, next(), 1);
-    } else if (arg == "--snapshot-dir") {
-      rc.snapshot_dir = next();
-      have_snapshot_dir = true;
-    } else if (arg == "--restore") {
-      rc.restore_path = next();
-    } else if (arg == "--audit-determinism") {
-      audit_determinism = true;
-    } else if (arg == "--chaos") {
-      chaos_schedules = static_cast<int>(parse_u64(argv[0], arg, next(), 1));
-    } else if (arg == "--chaos-seed") {
-      chaos_seed = parse_u64(argv[0], arg, next(), 0);
-    } else if (arg == "--no-minimize") {
-      chaos_minimize = false;
-    } else if (arg == "--no-recovery") {
-      chaos_recovery = false;
-    } else if (arg == "--fault-schedule") {
-      fault_spec = next();
-    } else if (arg == "--hash-every") {
-      hash_every = parse_u64(argv[0], arg, next(), 1);
-      have_hash_every = true;
-    } else if (arg == "--alone") {
-      const std::string m = next();
-      if (m == "replay") {
-        rc.alone_mode = RunConfig::AloneMode::kExactReplay;
-      } else if (m == "cached") {
-        rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
-      } else {
-        usage(argv[0], "unknown alone mode: " + m);
-      }
-    } else if (arg == "--config") {
-      try {
-        rc.gpu = load_config(next(), rc.gpu);
-      } catch (const std::exception& e) {
-        usage(argv[0], e.what());
-      }
-    } else if (arg == "--dump-config") {
-      write_config(std::cout, GpuConfig{});
-      return 0;
-    } else if (arg == "--list-apps") {
-      TablePrinter table({"abbr", "name", "Table3 BW", "warps/blk",
-                          "mem_frac"},
-                         14);
-      table.print_header();
-      for (const KernelProfile& app : app_registry()) {
-        table.print_row(app.abbr, app.name.substr(0, 13),
-                        TablePrinter::pct(app.table3_bw_util, 0),
-                        app.warps_per_block,
-                        TablePrinter::num(app.mem_fraction, 3));
-      }
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-    } else {
-      usage(argv[0], "unknown flag: " + arg);
+      case FlagId::kHelp:
+        // An explicit help request is not a usage error: stdout, exit 0.
+        std::cout << render_usage(argv[0]);
+        return 0;
     }
   }
 
+  const bool jobs_mode = !job_file.empty() || !jobs_resume.empty();
   if (have_snapshot_dir && rc.snapshot_every == 0) {
     usage(argv[0], "--snapshot-dir requires --snapshot-every");
   }
@@ -555,14 +606,60 @@ int main(int argc, char** argv) {
     usage(argv[0],
           "--fault-schedule replays one schedule; --chaos generates its own");
   }
+  if (!job_file.empty() && !jobs_resume.empty()) {
+    usage(argv[0], "--job-file starts a batch; --jobs-resume continues one — "
+                   "pick one");
+  }
+  if (jobs_mode &&
+      (!app_names.empty() || !sweep_which.empty() || chaos_schedules > 0 ||
+       audit_determinism || !fault_spec.empty() || !rc.restore_path.empty())) {
+    usage(argv[0],
+          "--job-file/--jobs-resume run whole batches and are incompatible "
+          "with --apps, --sweep, --chaos, --fault-schedule, --restore and "
+          "--audit-determinism");
+  }
+  if (!manifest_path.empty() && job_file.empty()) {
+    usage(argv[0], "--manifest requires --job-file");
+  }
+
+  // Wire the drain flag and the run limits into every mode.
+  rc.cancel = shutdown_flag();
+  sweep_opts.cancel = shutdown_flag();
+  if (deadline_ms > 0.0 && !jobs_mode) {
+    rc.wall_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(
+                           static_cast<long long>(deadline_ms * 1000.0));
+  }
 
   try {
+    if (jobs_mode) {
+      JobManagerOptions jm;
+      jm.gpu = rc.gpu;
+      jm.base_seed = rc.base_seed;
+      jm.default_cycles = have_cycles ? rc.co_run_cycles : 40'000;
+      jm.default_deadline_ms = deadline_ms;
+      jm.max_retries = job_max_retries;
+      if (have_backoff) jm.backoff_base_ms = sweep_opts.backoff_ms;
+      jm.quarantine_after = quarantine_after;
+      jm.jobs = sweep_opts.jobs;
+      jm.manifest_path = !jobs_resume.empty()
+                             ? jobs_resume
+                             : (!manifest_path.empty()
+                                    ? manifest_path
+                                    : job_file + ".manifest.jsonl");
+      if (have_snapshot_dir) jm.snapshot_dir = rc.snapshot_dir;
+      if (rc.snapshot_every != 0) jm.snapshot_every = rc.snapshot_every;
+      jm.cancel = shutdown_flag();
+      jm.verbose = true;
+      return run_jobs(jm, job_file,
+                      have_out ? out_path : "jobs_report.json");
+    }
     if (chaos_schedules > 0) {
       if (!have_cycles) rc.co_run_cycles = 40'000;  // chaos default budget
       return run_chaos(rc, chaos_schedules, chaos_seed, sweep_opts.jobs,
                        chaos_recovery, chaos_minimize,
                        sweep_opts.checkpoint_path,
-                       have_out ? sweep_out : "chaos_report.json");
+                       have_out ? out_path : "chaos_report.json");
     }
     if (!sweep_which.empty()) {
       if (!app_names.empty()) {
@@ -570,7 +667,7 @@ int main(int argc, char** argv) {
       }
       // Sweeps use the cached alone IPC like the bench binaries do.
       rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
-      return run_sweep(sweep_which, rc, models, sweep_opts, sweep_out,
+      return run_sweep(sweep_which, rc, models, sweep_opts, out_path,
                        argv[0]);
     }
 
@@ -613,7 +710,11 @@ int main(int argc, char** argv) {
   } catch (const SimError& e) {
     std::cerr << "simulation error [" << to_string(e.kind()) << "] in "
               << e.component() << ":\n" << e.what() << '\n';
-    return 3;
+    if (e.kind() == SimErrorKind::kInterrupted && rc.snapshot_every != 0) {
+      std::cerr << "gpusim: run interrupted — a snapshot was written; rerun "
+                   "the same command to resume\n";
+    }
+    return exit_code_for(e.kind());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
