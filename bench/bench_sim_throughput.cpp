@@ -1,9 +1,12 @@
 // Simulator-throughput baseline: measures raw cycles/sec of the
-// cycle loop (fast-forward on and off) and the wall-clock of a small
-// checkpoint-free sweep run serially vs. on the worker pool, then emits
-// the numbers as a flat JSON object — the repo's BENCH_*.json perf
-// baseline format.  tools/check_perf.sh runs this binary and fails on a
-// >15% cycles/sec regression against the committed BENCH_throughput.json.
+// cycle loop (fast-forward on and off), a memory-contended co-run with
+// the activity-tracked cycle engine on (loop profiler attached) and off,
+// and the wall-clock of a small checkpoint-free sweep run serially vs. on
+// the worker pool, then emits the numbers as a flat JSON object — the
+// repo's BENCH_*.json perf baseline format.  tools/check_perf.sh runs
+// this binary and fails on cycles/sec regressions against the committed
+// BENCH_throughput.json (15% for the legacy keys, 10% for the contended
+// scenario).
 //
 //   bench_sim_throughput [output.json]
 //
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/loop_profiler.hpp"
 #include "gpu/simulator.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/app_registry.hpp"
@@ -56,6 +60,40 @@ LoopResult time_cycle_loop(const GpuConfig& cfg, Cycle cycles,
   sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), 2));
 
   sim.run(20'000);  // warm the pipeline so timing sees steady state
+  const u64 ff_before = sim.gpu().fast_forwarded_cycles();
+  const auto start = std::chrono::steady_clock::now();
+  sim.run(cycles);
+  const double elapsed = seconds_since(start);
+
+  LoopResult r;
+  r.cycles_per_sec =
+      elapsed > 0.0 ? static_cast<double>(cycles) / elapsed : 0.0;
+  r.fast_forwarded_fraction =
+      static_cast<double>(sim.gpu().fast_forwarded_cycles() - ff_before) /
+      static_cast<double>(cycles);
+  return r;
+}
+
+/// Cycles/sec of a memory-contended co-run (two DRAM-saturating kernels
+/// sharing six partitions) with the activity-tracked cycle engine on or
+/// off.  This is the scenario the engine targets: most SMs idle on
+/// outstanding misses each cycle while the memory system stays busy, so
+/// the per-component wake tracking skips them without the global
+/// fast-forward ever triggering.  The engine-on run carries the loop
+/// profiler so the baseline records where the remaining wall time goes.
+LoopResult time_contended_loop(const GpuConfig& cfg, Cycle cycles,
+                               bool engine_on, LoopProfiler* profiler) {
+  Simulation sim(cfg, {AppLaunch{*find_app("SD"), 2001},
+                       AppLaunch{*find_app("SA"), 2002}});
+  sim.set_activity_sched(engine_on);
+  sim.set_fast_forward(engine_on);
+  sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), 2));
+
+  sim.run(20'000);  // warm the pipeline so timing sees steady state
+  if (profiler != nullptr) {
+    profiler->reset();
+    sim.set_loop_profiler(profiler);
+  }
   const u64 ff_before = sim.gpu().fast_forwarded_cycles();
   const auto start = std::chrono::steady_clock::now();
   sim.run(cycles);
@@ -113,6 +151,16 @@ int main(int argc, char** argv) {
   const LoopResult fast = time_cycle_loop(cfg, loop_cycles, true);
   const LoopResult slow = time_cycle_loop(cfg, loop_cycles, false);
 
+  LoopProfiler profiler;
+  const LoopResult contended =
+      time_contended_loop(cfg, loop_cycles, true, &profiler);
+  const LoopResult contended_off =
+      time_contended_loop(cfg, loop_cycles, false, nullptr);
+  const double contended_speedup =
+      contended_off.cycles_per_sec > 0.0
+          ? contended.cycles_per_sec / contended_off.cycles_per_sec
+          : 0.0;
+
   RunConfig rc;
   rc.co_run_cycles = cycles_from_env("BENCH_SWEEP_CYCLES", 60'000);
   rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
@@ -135,6 +183,17 @@ int main(int argc, char** argv) {
                slow.cycles_per_sec);
   std::fprintf(out, "\"fast_forwarded_fraction\": %.4f,\n",
                fast.fast_forwarded_fraction);
+  std::fprintf(out, "\"contended_cycles_per_sec\": %.1f,\n",
+               contended.cycles_per_sec);
+  std::fprintf(out, "\"contended_cycles_per_sec_no_activity\": %.1f,\n",
+               contended_off.cycles_per_sec);
+  std::fprintf(out, "\"contended_activity_speedup\": %.3f,\n",
+               contended_speedup);
+  std::fprintf(out, "\"contended_fast_forwarded_fraction\": %.4f,\n",
+               contended.fast_forwarded_fraction);
+  std::fprintf(out, "%s", profiler.to_json_lines(true).c_str());
+  std::fprintf(out, "\"profile_total_ns\": %llu,\n",
+               static_cast<unsigned long long>(profiler.total_ns()));
   std::fprintf(out, "\"sweep_pairs\": %d,\n", sweep_pairs);
   std::fprintf(out, "\"sweep_corun_cycles\": %llu,\n",
                static_cast<unsigned long long>(rc.co_run_cycles));
@@ -150,6 +209,11 @@ int main(int argc, char** argv) {
       "cycles/sec: %.0f (fast-forward on, %.1f%% skipped), %.0f (off)\n",
       fast.cycles_per_sec, 100.0 * fast.fast_forwarded_fraction,
       slow.cycles_per_sec);
+  std::printf(
+      "contended SD+SA: %.0f cycles/sec with the activity engine "
+      "(%.1f%% fast-forwarded), %.0f without (%.2fx)\n",
+      contended.cycles_per_sec, 100.0 * contended.fast_forwarded_fraction,
+      contended_off.cycles_per_sec, contended_speedup);
   std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
               sweep_pairs, serial_s, parallel_s, sweep_jobs,
               parallel_s > 0.0 ? serial_s / parallel_s : 0.0);

@@ -29,6 +29,10 @@ class Mshr {
     SIM_CHECK(max_entries_ > 0,
               SimError(SimErrorKind::kConfig, "cache.mshr",
                        "MSHR entry count must be positive"));
+    // Occupancy is hard-capped at max_entries_, so sizing the bucket array
+    // up front means steady-state allocate/release on the partition hot
+    // path never rehashes.
+    entries_.reserve(static_cast<std::size_t>(max_entries_));
   }
 
   enum class AllocResult {

@@ -24,15 +24,18 @@ std::vector<AppId> even_partition(int num_sms, int num_apps) {
 Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
     : cfg_(cfg),
       address_map_(cfg_),
-      req_net_(
-          cfg_.num_sms, cfg_.num_partitions, cfg_.noc_latency,
-          cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
-          [](const MemRequestPacket& p) { return static_cast<int>(p.dest); }),
-      resp_net_(
-          cfg_.num_partitions, cfg_.num_sms, cfg_.noc_latency,
-          cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
-          [](const MemResponsePacket& p) { return static_cast<int>(p.sm); }),
-      desired_partition_(cfg_.num_sms, kInvalidApp) {
+      req_net_(cfg_.num_sms, cfg_.num_partitions, cfg_.noc_latency,
+               cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
+               RouteRequestToPartition{}),
+      resp_net_(cfg_.num_partitions, cfg_.num_sms, cfg_.noc_latency,
+                cfg_.noc_accepts_per_cycle, cfg_.noc_queue_depth,
+                RouteResponseToSm{}),
+      desired_partition_(cfg_.num_sms, kInvalidApp),
+      engine_supported_(cfg_.num_sms <= 64 && cfg_.num_partitions <= 64),
+      sm_wake_(cfg_.num_sms, 0),
+      part_wake_(cfg_.num_partitions, 0),
+      sm_synced_(cfg_.num_sms, 0),
+      part_synced_(cfg_.num_partitions, 0) {
   cfg_.validate();
   SIM_CHECK(!launches.empty() && static_cast<int>(launches.size()) <= kMaxApps,
             SimError(SimErrorKind::kConfig, "gpu",
@@ -64,8 +67,20 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
 }
 
 void Gpu::set_fault_injector(FaultInjector* injector) {
+  // An injector hooks individual cycles, so the activity engine pins to the
+  // per-cycle path while one is attached; settle owed accruals at the
+  // transition either way.
+  sync_all_to(now_);
+  engine_dirty_ = true;
   injector_ = injector;
   for (auto& p : partitions_) p->set_fault_injector(injector);
+}
+
+void Gpu::set_activity_sched(bool on) {
+  if (activity_sched_ == on) return;
+  sync_all_to(now_);
+  engine_dirty_ = true;
+  activity_sched_ = on;
 }
 
 void Gpu::set_partition(const std::vector<AppId>& desired) {
@@ -83,6 +98,11 @@ void Gpu::set_partition(const std::vector<AppId>& desired) {
                   .app(a)
                   .detail("num_apps", num_apps()));
   }
+  // Repartitioning reassigns SM owners (which changes whose counters the
+  // bulk accruals feed) and may leave a pending migration that pins the
+  // per-cycle path — settle and invalidate the engine first.
+  sync_all_to(now_);
+  engine_dirty_ = true;
   desired_partition_ = desired;
   migration_pending_ = true;
   progress_migration();
@@ -103,6 +123,10 @@ int Gpu::sms_assigned(AppId app) const {
 }
 
 void Gpu::set_priority_app(AppId app) {
+  // The priority app feeds the controllers' per-cycle accounting
+  // classification; settle owed bulk accruals under the old priority so a
+  // sleeping controller's skip window never straddles the flip.
+  sync_all_to(now_);
   for (auto& p : partitions_) p->mc().set_priority_app(app);
 }
 
@@ -136,32 +160,207 @@ void Gpu::progress_migration() {
 }
 
 void Gpu::cycle() {
+  if (engine_enabled()) {
+    if (engine_dirty_) rebuild_engine_state();
+    cycle_engine();
+  } else {
+    cycle_full();
+  }
+}
+
+void Gpu::sync_sm_to(int s, Cycle target) {
+  const Cycle from = sm_synced_[s];
+  if (from >= target) return;
+  const Cycle n = target - from;
+  sms_[s]->skip_cycles(n);
+  const AppId app = sms_[s]->app();
+  if (app != kInvalidApp) sm_cycles_.add(app, n);
+  sm_synced_[s] = target;
+}
+
+void Gpu::sync_partition_to(int p, Cycle target) {
+  const Cycle from = part_synced_[p];
+  if (from >= target) return;
+  partitions_[p]->mc().skip_cycles(from, target - from);
+  part_synced_[p] = target;
+}
+
+void Gpu::sync_all_to(Cycle target) {
+  for (int s = 0; s < cfg_.num_sms; ++s) sync_sm_to(s, target);
+  for (int p = 0; p < cfg_.num_partitions; ++p) sync_partition_to(p, target);
+}
+
+void Gpu::rebuild_engine_state() {
+  // Wake everything for the next cycle; components re-earn their sleep from
+  // live quiet_at() probes.  The synced cursors stay valid across a rebuild
+  // (every dirtying mutator settles them first; SIM_INVARIANT guards the
+  // contract), so no accrual is lost or doubled here.
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    SIM_INVARIANT(sm_synced_[s] == now_, "gpu.engine",
+                  "engine rebuild with unsettled SM accruals");
+    sm_wake_[s] = now_;
+  }
+  for (int p = 0; p < cfg_.num_partitions; ++p) {
+    SIM_INVARIANT(part_synced_[p] == now_, "gpu.engine",
+                  "engine rebuild with unsettled partition accruals");
+    part_wake_[p] = now_;
+  }
+  req_src_mask_ = 0;
+  resp_src_mask_ = 0;
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    if (!sms_[s]->out_queue().empty()) req_src_mask_ |= u64{1} << s;
+  }
+  for (int p = 0; p < cfg_.num_partitions; ++p) {
+    if (!partitions_[p]->resp_queue().empty()) resp_src_mask_ |= u64{1} << p;
+  }
+  engine_dirty_ = false;
+}
+
+void Gpu::cycle_engine() {
+  // Same phase order as cycle_full(), with the injector/migration hooks
+  // compiled out (engine_enabled() excludes both) and every phase gated on
+  // tracked activity.  A component skipped here is provably quiet: its
+  // cycle() would only have accrued counters, which sync_*_to() settles in
+  // one lump when it wakes.
+
+  // 1. SMs due this cycle: settle owed accruals, deliver matured responses,
+  //    advance, then re-arm the wake cycle.
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    if (sm_wake_[s] > now_) continue;
+    sync_sm_to(s, now_);
+    auto& rq = resp_net_.dest_queue(s);
+    if (!rq.empty() && rq.front().ready <= now_) {
+      ProfScope prof(profiler_, LoopProfiler::kRespDelivery, 0);
+      u64 delivered = 0;
+      while (!rq.empty() && rq.front().ready <= now_) {
+        MemResponsePacket resp = rq.pop();
+        taps_.responses_delivered.add(resp.app);
+        sms_[s]->receive(resp);
+        ++delivered;
+      }
+      prof.set_visits(delivered);
+    }
+    {
+      ProfScope prof(profiler_, LoopProfiler::kSmAdvance);
+      sms_[s]->cycle(now_);
+    }
+    const AppId app = sms_[s]->app();
+    if (app != kInvalidApp) sm_cycles_.add(app);
+    sm_synced_[s] = now_ + 1;
+    // Sleep decision: quiet_at() on the post-cycle state proves every
+    // cycle before the next local event or deliverable response is a
+    // pure-accounting no-op for this SM.
+    Cycle wake = now_ + 1;
+    if (sms_[s]->quiet_at(now_)) {
+      wake = sms_[s]->wake_after(rq);
+      if (wake <= now_) wake = now_ + 1;
+    }
+    sm_wake_[s] = wake;
+    // An SM with outbound traffic is never quiet, so this bit is refreshed
+    // every cycle it could matter.
+    if (!sms_[s]->out_queue().empty()) {
+      req_src_mask_ |= u64{1} << s;
+    } else {
+      req_src_mask_ &= ~(u64{1} << s);
+    }
+  }
+
+  // 2. Request crossbar, only when some SM has a packet to inject.  An
+  //    accepted packet matures at now + latency; wake its partition then.
+  if (req_src_mask_ != 0) {
+    ProfScope prof(profiler_, LoopProfiler::kXbarReq);
+    const u64 accepted = req_net_.transfer(now_, sm_out_ptrs_);
+    if (accepted != 0) {
+      const Cycle arrive = now_ + cfg_.noc_latency;
+      for (int p = 0; p < cfg_.num_partitions; ++p) {
+        if (((accepted >> p) & 1) != 0 && part_wake_[p] > arrive) {
+          part_wake_[p] = arrive;
+        }
+      }
+    }
+  }
+
+  // 3. Memory partitions due this cycle.
+  for (int p = 0; p < cfg_.num_partitions; ++p) {
+    if (part_wake_[p] > now_) continue;
+    sync_partition_to(p, now_);
+    auto& inq = req_net_.dest_queue(p);
+    {
+      ProfScope prof(profiler_, LoopProfiler::kPartition);
+      partitions_[p]->cycle(now_, inq);
+    }
+    part_synced_[p] = now_ + 1;
+    Cycle wake = now_ + 1;
+    if (partitions_[p]->quiet_at(now_, inq)) {
+      wake = partitions_[p]->next_event_after(now_, inq);
+      if (wake <= now_) wake = now_ + 1;
+    }
+    part_wake_[p] = wake;
+    // Unlike the request side, a partition may sleep on a not-yet-mature
+    // response head, so this bit persists across its sleep; it is cleared
+    // the cycle after the response crossbar drains the queue (the
+    // partition is provably awake whenever its head is ready).
+    if (!partitions_[p]->resp_queue().empty()) {
+      resp_src_mask_ |= u64{1} << p;
+    } else {
+      resp_src_mask_ &= ~(u64{1} << p);
+    }
+  }
+
+  // 4. Response crossbar, only when some partition holds responses.  An
+  //    accepted packet matures at its SM at now + latency.
+  if (resp_src_mask_ != 0) {
+    ProfScope prof(profiler_, LoopProfiler::kXbarResp);
+    const u64 accepted = resp_net_.transfer(now_, part_resp_ptrs_);
+    if (accepted != 0) {
+      const Cycle arrive = now_ + cfg_.noc_latency;
+      for (int s = 0; s < cfg_.num_sms; ++s) {
+        if (((accepted >> s) & 1) != 0 && sm_wake_[s] > arrive) {
+          sm_wake_[s] = arrive;
+        }
+      }
+    }
+  }
+
+  ++now_;
+}
+
+void Gpu::cycle_full() {
   // 1. Deliver matured responses to SMs, then advance each SM.
   for (int s = 0; s < cfg_.num_sms; ++s) {
     auto& rq = resp_net_.dest_queue(s);
-    while (!rq.empty() && rq.front().ready <= now_) {
-      MemResponsePacket resp = rq.pop();
-      if (injector_ != nullptr) {
-        const ResponseDecision d = injector_->on_response(now_);
-        if (d.action == ResponseAction::kDrop) {
-          // Injected fault: the response vanishes at delivery, stranding
-          // its warp.  Taps stay silent so the auditor must detect the
-          // leak.
-          continue;
+    {
+      ProfScope dprof(profiler_, LoopProfiler::kRespDelivery, 0);
+      u64 delivered = 0;
+      while (!rq.empty() && rq.front().ready <= now_) {
+        MemResponsePacket resp = rq.pop();
+        if (injector_ != nullptr) {
+          const ResponseDecision d = injector_->on_response(now_);
+          if (d.action == ResponseAction::kDrop) {
+            // Injected fault: the response vanishes at delivery, stranding
+            // its warp.  Taps stay silent so the auditor must detect the
+            // leak.
+            continue;
+          }
+          if (d.action == ResponseAction::kNack) {
+            // Injected fault: delivery refused; the packet re-queues with a
+            // later ready time (>= now_+1, so this loop terminates).  If the
+            // queue refilled meanwhile, the NACK has nowhere to park and the
+            // packet is delivered after all.
+            resp.ready = now_ + d.delay;
+            if (rq.try_push(resp)) continue;
+          }
         }
-        if (d.action == ResponseAction::kNack) {
-          // Injected fault: delivery refused; the packet re-queues with a
-          // later ready time (>= now_+1, so this loop terminates).  If the
-          // queue refilled meanwhile, the NACK has nowhere to park and the
-          // packet is delivered after all.
-          resp.ready = now_ + d.delay;
-          if (rq.try_push(resp)) continue;
-        }
+        taps_.responses_delivered.add(resp.app);
+        sms_[s]->receive(resp);
+        ++delivered;
       }
-      taps_.responses_delivered.add(resp.app);
-      sms_[s]->receive(resp);
+      dprof.set_visits(delivered);
     }
-    sms_[s]->cycle(now_);
+    {
+      ProfScope prof(profiler_, LoopProfiler::kSmAdvance);
+      sms_[s]->cycle(now_);
+    }
     const AppId app = sms_[s]->app();
     if (app != kInvalidApp) sm_cycles_.add(app);
   }
@@ -182,23 +381,41 @@ void Gpu::cycle() {
   }
 
   // 2. Request crossbar: SM output FIFOs -> partition delivery queues.
-  req_net_.transfer(now_, sm_out_ptrs_);
+  {
+    ProfScope prof(profiler_, LoopProfiler::kXbarReq);
+    req_net_.transfer(now_, sm_out_ptrs_);
+  }
 
   // 3. Memory partitions (L2 + DRAM).
-  for (int p = 0; p < cfg_.num_partitions; ++p) {
-    if (injector_ != nullptr && injector_->partition_stalled(p, now_)) {
-      continue;  // injected fault: the whole partition is frozen
+  {
+    ProfScope prof(profiler_, LoopProfiler::kPartition, 0);
+    u64 visited = 0;
+    for (int p = 0; p < cfg_.num_partitions; ++p) {
+      if (injector_ != nullptr && injector_->partition_stalled(p, now_)) {
+        continue;  // injected fault: the whole partition is frozen
+      }
+      partitions_[p]->cycle(now_, req_net_.dest_queue(p));
+      ++visited;
     }
-    partitions_[p]->cycle(now_, req_net_.dest_queue(p));
+    prof.set_visits(visited);
   }
 
   // 4. Response crossbar: partition response FIFOs -> SM delivery queues.
-  resp_net_.transfer(now_, part_resp_ptrs_);
+  {
+    ProfScope prof(profiler_, LoopProfiler::kXbarResp);
+    resp_net_.transfer(now_, part_resp_ptrs_);
+  }
 
   // 5. Hand over any drained SMs under a pending repartition.
   if (migration_pending_) progress_migration();
 
   ++now_;
+
+  // This path accrues everything eagerly, so the sync cursors track the
+  // clock; re-entering the engine later starts from a clean rebuild.
+  for (int s = 0; s < cfg_.num_sms; ++s) sm_synced_[s] = now_;
+  for (int p = 0; p < cfg_.num_partitions; ++p) part_synced_[p] = now_;
+  engine_dirty_ = true;
 }
 
 void Gpu::run(Cycle cycles) {
@@ -210,6 +427,24 @@ Cycle Gpu::dead_cycles_until(Cycle max_skip) const {
   // drops), and a pending migration re-polls drained() every cycle — both
   // need the full per-cycle path.
   if (max_skip == 0 || injector_ != nullptr || migration_pending_) return 0;
+
+  if (engine_enabled() && !engine_dirty_) {
+    // The engine already maintains every component's next event as its
+    // wake cycle, so the probe is a scan of two small arrays.  A component
+    // due now (or pending request traffic, whose SM is due by invariant)
+    // means this cycle may do real work.
+    if (req_src_mask_ != 0) return 0;
+    Cycle next = now_ + max_skip;
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+      if (sm_wake_[s] <= now_) return 0;
+      next = std::min(next, sm_wake_[s]);
+    }
+    for (int p = 0; p < cfg_.num_partitions; ++p) {
+      if (part_wake_[p] <= now_) return 0;
+      next = std::min(next, part_wake_[p]);
+    }
+    return next - now_;
+  }
 
   Cycle next = now_ + max_skip;
   for (int s = 0; s < cfg_.num_sms; ++s) {
@@ -231,17 +466,24 @@ Cycle Gpu::dead_cycles_until(Cycle max_skip) const {
 }
 
 void Gpu::skip_dead_cycles(Cycle n) {
-  for (int s = 0; s < cfg_.num_sms; ++s) {
-    sms_[s]->skip_cycles(n);
-    const AppId app = sms_[s]->app();
-    if (app != kInvalidApp) sm_cycles_.add(app, n);
+  ProfScope prof(profiler_, LoopProfiler::kFastForward, n);
+  if (engine_enabled() && !engine_dirty_) {
+    // Every component sleeps past now_ + n, so their owed accruals are
+    // settled lazily at their next wake (or observation) — the jump itself
+    // only moves the clock.
+    now_ += n;
+    fast_forwarded_ += n;
+    return;
   }
-  for (auto& p : partitions_) p->mc().skip_cycles(now_, n);
+  sync_all_to(now_ + n);
   now_ += n;
   fast_forwarded_ += n;
 }
 
 IntervalSample Gpu::end_interval() {
+  // Interval samples read the lazily-accrued stall/idle/bus counters, so
+  // settle every sleeping component up to the boundary first.
+  sync_all_to(now_);
   IntervalSample sample;
   sample.start = last_interval_end_;
   sample.length = now_ - last_interval_end_;
@@ -414,6 +656,10 @@ void Gpu::write_state(Sink& s) const {
   // fast-forward *skipped*, which is execution-strategy bookkeeping, not
   // simulated state — including it would make the fast-forward-on and -off
   // hashes differ even though every simulated observable is identical.
+  // The activity-engine wakes/masks/cursors are likewise execution
+  // strategy, not state; settling owed accruals here makes the serialized
+  // counters identical to what the per-cycle walk would have written.
+  sync_for_observation();
   s.put_tag("GPU ");
   s.put_u64(now_);
   s.put_u64(last_interval_end_);
@@ -480,6 +726,11 @@ void Gpu::load(StateReader& r) {
                 .detail("snapshot_has_injector", had_injector)
                 .detail("gpu_has_injector", injector_ != nullptr));
   if (injector_ != nullptr) injector_->load(r);
+  // Restored state is exactly what the per-cycle walk would hold at the
+  // restored clock: nothing is owed, and wakes/masks must be rebuilt.
+  for (Cycle& c : sm_synced_) c = now_;
+  for (Cycle& c : part_synced_) c = now_;
+  engine_dirty_ = true;
 }
 
 u64 Gpu::state_hash() const {
@@ -489,6 +740,7 @@ u64 Gpu::state_hash() const {
 }
 
 std::vector<std::pair<std::string, u64>> Gpu::component_hashes() const {
+  sync_for_observation();
   std::vector<std::pair<std::string, u64>> out;
   {
     Hasher h;

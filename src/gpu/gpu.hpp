@@ -11,6 +11,7 @@
 #include "common/audit.hpp"
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
+#include "common/loop_profiler.hpp"
 #include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -34,6 +35,19 @@ struct AppLaunch {
 /// num_sms / num_apps SMs (the paper's default policy), with any remainder
 /// given to the lowest-numbered apps.
 std::vector<AppId> even_partition(int num_sms, int num_apps);
+
+/// Concrete crossbar routers (devirtualized: these inline into the
+/// arbitration loop instead of going through a std::function thunk).
+struct RouteRequestToPartition {
+  int operator()(const MemRequestPacket& p) const {
+    return static_cast<int>(p.dest);
+  }
+};
+struct RouteResponseToSm {
+  int operator()(const MemResponsePacket& p) const {
+    return static_cast<int>(p.sm);
+  }
+};
 
 class Gpu {
  public:
@@ -63,6 +77,31 @@ class Gpu {
 
   void cycle();
   void run(Cycle cycles);
+
+  // --- Activity-tracked cycle engine (DESIGN.md §12) ---------------------
+  // By default cycle() dispatches to an engine that keeps a per-SM and
+  // per-partition wake cycle (the quiet_at()/next-event machinery from the
+  // fast-forward path, maintained every cycle) plus pending-source
+  // occupancy masks for the two crossbars, so one cycle only touches
+  // components with work.  Idle components are bulk-advanced with the
+  // skip_cycles() accounting when they next wake, which keeps every
+  // simulated observable — state hashes, snapshots, interval samples —
+  // bit-identical to the per-cycle walk.  A fault injector or a pending SM
+  // migration pins the whole GPU to the per-cycle path, exactly as
+  // dead_cycles_until() refuses to skip under them.
+
+  /// Enables/disables the activity engine (--no-activity-sched escape
+  /// hatch).  Safe at any cycle: owed accruals are settled first, so
+  /// flipping mid-run never changes simulated state.
+  void set_activity_sched(bool on);
+  bool activity_sched() const { return activity_sched_; }
+
+  /// True when the next cycle() will take the activity-tracked path.
+  bool activity_engine_active() const { return engine_enabled(); }
+
+  /// Attaches a loop profiler (nullptr detaches).  Must outlive the Gpu or
+  /// be detached first.
+  void set_loop_profiler(LoopProfiler* prof) { profiler_ = prof; }
 
   /// Idle-cycle fast-forward probe: returns how many cycles starting at
   /// now() are provably *dead* — cycle() would change nothing except the
@@ -150,13 +189,32 @@ class Gpu {
  private:
   void progress_migration();
 
+  // --- activity engine internals (see DESIGN.md §12) ---------------------
+  bool engine_enabled() const {
+    return activity_sched_ && engine_supported_ && injector_ == nullptr &&
+           !migration_pending_;
+  }
+  void rebuild_engine_state();
+  void cycle_engine();
+  void cycle_full();
+  /// Settles component `x`'s owed bulk accruals up to (excluding) `target`.
+  void sync_sm_to(int s, Cycle target);
+  void sync_partition_to(int p, Cycle target);
+  void sync_all_to(Cycle target);
+  /// Settles all owed accruals so externally visible counters match what
+  /// the per-cycle walk would show at now().  Mutates only lazily-deferred
+  /// bookkeeping to its canonical value — semantically const.
+  void sync_for_observation() const {
+    const_cast<Gpu*>(this)->sync_all_to(now_);
+  }
+
   GpuConfig cfg_;
   AddressMap address_map_;
   std::vector<std::unique_ptr<AppRuntime>> runtimes_;
   std::vector<std::unique_ptr<SmCore>> sms_;
   std::vector<std::unique_ptr<MemoryPartition>> partitions_;
-  CrossbarChannel<MemRequestPacket> req_net_;
-  CrossbarChannel<MemResponsePacket> resp_net_;
+  CrossbarChannel<MemRequestPacket, RouteRequestToPartition> req_net_;
+  CrossbarChannel<MemResponsePacket, RouteResponseToSm> resp_net_;
   std::vector<BoundedQueue<MemRequestPacket>*> sm_out_ptrs_;
   std::vector<BoundedQueue<MemResponsePacket>*> part_resp_ptrs_;
 
@@ -170,6 +228,21 @@ class Gpu {
   PerAppCounter sm_cycles_;
   ConservationTaps taps_;
   FaultInjector* injector_ = nullptr;
+
+  // Activity-engine bookkeeping.  None of it is simulated state: wakes and
+  // masks are derivable from component state, and the synced cursors only
+  // track how much bulk accrual is still owed — all settled before any
+  // observation.  Deliberately excluded from write_state().
+  bool activity_sched_ = true;   ///< --no-activity-sched clears this
+  bool engine_supported_ = false;  ///< geometry fits the 64-bit masks
+  bool engine_dirty_ = true;     ///< wakes/masks need a rebuild
+  std::vector<Cycle> sm_wake_;    ///< next cycle SM s must be processed
+  std::vector<Cycle> part_wake_;  ///< next cycle partition p must be processed
+  std::vector<Cycle> sm_synced_;  ///< first cycle not yet accrued for SM s
+  std::vector<Cycle> part_synced_;
+  u64 req_src_mask_ = 0;   ///< SMs with a non-empty out-queue
+  u64 resp_src_mask_ = 0;  ///< partitions with a non-empty response queue
+  LoopProfiler* profiler_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -56,11 +56,16 @@ void Simulation::run(Cycle cycles) {
       }
     } else {
       // Per-cycle hooks observe (and may mutate) the GPU every cycle, so
-      // neither the fast-forward nor the hoisted loop applies.
+      // neither the fast-forward nor the hoisted loop applies — and the
+      // activity engine is pinned off for the hooked stretch so every
+      // counter a hook reads is accrued through the previous cycle.
+      const bool engine_was_on = gpu_.activity_sched();
+      gpu_.set_activity_sched(false);
       while (gpu_.now() < chunk_end) {
         for (CycleHook* hook : cycle_hooks_) hook->on_cycle(gpu_.now(), gpu_);
         gpu_.cycle();
       }
+      gpu_.set_activity_sched(engine_was_on);
     }
     maybe_fire_interval();
     if (gpu_.now() % kWatchdogCheckPeriod == 0) {
@@ -94,6 +99,7 @@ void Simulation::run_until_instructions(AppId app, u64 target,
 
 void Simulation::maybe_fire_interval() {
   if (gpu_.now() < next_interval_end_) return;
+  ProfScope prof(profiler_, LoopProfiler::kIntervalBookkeeping);
   const IntervalSample sample = gpu_.end_interval();
   ++intervals_completed_;
   for (IntervalObserver* obs : observers_) obs->on_interval(sample, gpu_);

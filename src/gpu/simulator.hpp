@@ -74,6 +74,23 @@ class Simulation {
   void set_fast_forward(bool on) { fast_forward_ = on; }
   bool fast_forward() const { return fast_forward_; }
 
+  /// Enables/disables the GPU's activity-tracked cycle engine (on by
+  /// default; --no-activity-sched clears it).  Same contract as the
+  /// fast-forward switch: simulated output is bit-identical either way.
+  /// While per-cycle hooks are registered, run() pins the engine off for
+  /// the hooked stretch regardless — hooks observe (and may mutate) the
+  /// GPU every cycle, which the lazily-accrued engine counters would
+  /// violate — and restores this setting afterwards.
+  void set_activity_sched(bool on) { gpu_.set_activity_sched(on); }
+  bool activity_sched() const { return gpu_.activity_sched(); }
+
+  /// Attaches a loop profiler to the GPU's cycle phases plus this driver's
+  /// fast-forward and interval bookkeeping (nullptr detaches).
+  void set_loop_profiler(LoopProfiler* prof) {
+    profiler_ = prof;
+    gpu_.set_loop_profiler(prof);
+  }
+
   // --- Run limits (JobManager hooks) ------------------------------------
   // All limits are caller configuration, not simulated state: like the
   // watchdog threshold they are neither serialized nor hashed, and hitting
@@ -161,6 +178,7 @@ class Simulation {
   Cycle last_progress_cycle_ = 0;
   u64 last_progress_sig_ = 0;
   bool fast_forward_ = true;
+  LoopProfiler* profiler_ = nullptr;
 
   std::chrono::steady_clock::time_point wall_deadline_{};
   Cycle cycle_budget_ = 0;

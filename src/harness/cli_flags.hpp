@@ -48,6 +48,8 @@ enum class FlagId {
   kRestore,
   kAuditDeterminism,
   kHashEvery,
+  kNoActivitySched,
+  kProfileLoop,
   kChaos,
   kChaosSeed,
   kNoMinimize,

@@ -75,6 +75,7 @@ std::string snapshot_path_for(const std::string& dir,
 /// already capped by max_alone_cycles, and charging them against the job's
 /// budgets would make a run job's outcome depend on the alone-cache state.
 void apply_limits(const RunConfig& rc, Simulation& sim, bool co_run) {
+  sim.set_activity_sched(rc.activity_sched);
   if (rc.wall_deadline != std::chrono::steady_clock::time_point{}) {
     sim.set_wall_deadline(rc.wall_deadline);
   }
@@ -156,6 +157,7 @@ Cycle ExperimentRunner::measure_alone_cycles(const KernelProfile& profile,
                                              u64 seed,
                                              u64 target_instructions) {
   Simulation sim(rc_.gpu, {AppLaunch{profile, seed}});
+  sim.set_activity_sched(rc_.activity_sched);
   Gpu& gpu = sim.gpu();
   gpu.set_partition(even_partition(gpu.num_sms(), 1));
   const bool limited =
@@ -206,6 +208,7 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   Simulation sim(rc_.gpu, std::move(launches));
   sim.set_watchdog(rc_.watchdog_cycles);
   apply_limits(rc_, sim, /*co_run=*/true);
+  if (rc_.profiler != nullptr) sim.set_loop_profiler(rc_.profiler);
   Gpu& gpu = sim.gpu();
 
   FaultInjector injector(rc_.faults);

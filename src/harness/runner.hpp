@@ -15,6 +15,7 @@
 
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
+#include "common/loop_profiler.hpp"
 #include "kernels/workload_sets.hpp"
 #include "sched/policies.hpp"
 
@@ -45,6 +46,14 @@ struct RunConfig {
   /// Options for the corresponding PolicyKind.
   TemporalOptions temporal;
   DaseQosOptions qos;
+
+  /// Activity-tracked cycle engine (gpu/gpu.hpp; --no-activity-sched
+  /// clears it).  Applied to every Simulation this runner drives — co-run
+  /// and alone replays; simulated output is bit-identical either way.
+  bool activity_sched = true;
+  /// Loop profiler attached to the co-run Simulation (nullptr = none;
+  /// --profile-loop).  Must outlive the runner calls that use this config.
+  LoopProfiler* profiler = nullptr;
 
   /// SimGuard: progress-watchdog stall threshold applied to every
   /// simulation this runner drives (0 disables; default matches

@@ -10,6 +10,14 @@
 // destination after `latency` cycles.  Head-of-line blocking at the source
 // FIFOs and finite destination buffering are modelled deliberately — both
 // are interference channels between concurrent applications.
+//
+// Hot-path shape: the Router is a template parameter so concrete routers
+// (plain field reads in this simulator) inline into the arbitration loop —
+// the std::function default exists only for tests and ad-hoc wiring.  When
+// the channel has at most 64 sources, transfer() first folds "head packet
+// exists and is ready" into a bitmask and returns immediately when it is
+// zero, so an idle interconnect costs one pass over the source fronts
+// instead of a dests × sources round-robin scan.
 #pragma once
 
 #include <functional>
@@ -21,14 +29,14 @@
 
 namespace gpusim {
 
-template <typename Packet>
+template <typename Packet, typename Router = std::function<int(const Packet&)>>
 class CrossbarChannel {
  public:
-  using RouteFn = std::function<int(const Packet&)>;
+  using RouteFn = Router;
 
   CrossbarChannel(int num_sources, int num_dests, Cycle latency,
                   int accepts_per_cycle, int dest_queue_depth,
-                  RouteFn route)
+                  Router route)
       : latency_(latency),
         accepts_per_cycle_(accepts_per_cycle),
         route_(std::move(route)),
@@ -48,12 +56,98 @@ class CrossbarChannel {
 
   /// Moves packets from source FIFOs to destination FIFOs for one cycle.
   /// `sources[s]` is the output FIFO of source port s.
-  void transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
+  ///
+  /// Returns a bitmask of destination ports (bits d < 64 only) that
+  /// accepted at least one packet this cycle — the activity engine uses it
+  /// to schedule wake-ups at the packets' delivery cycle.  Arbitration
+  /// order, round-robin pointer updates and all queue mutations are
+  /// identical to the historical full scan; the mask fast path only skips
+  /// probes that could not have accepted anything.
+  u64 transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
     const int num_sources = static_cast<int>(sources.size());
     SIM_INVARIANT(num_sources == static_cast<int>(source_sent_.size()),
                   "noc.crossbar", "source port count changed after wiring");
-    std::fill(source_sent_.begin(), source_sent_.end(), 0);
+    if (num_sources > 64) return transfer_scan(now, sources);
 
+    // One packet per source per cycle: a set bit means "head packet is
+    // ready and this source has not injected yet", so clearing the bit on
+    // accept subsumes the historical source_sent_ scratch array.
+    u64 ready = 0;
+    for (int s = 0; s < num_sources; ++s) {
+      const BoundedQueue<Packet>& sq = *sources[s];
+      if (!sq.empty() && sq.front().ready <= now) ready |= u64{1} << s;
+    }
+    if (ready == 0) return 0;  // idle interconnect: skip the full scan
+
+    u64 accepted_dests = 0;
+    for (int d = 0; d < static_cast<int>(dest_queues_.size()); ++d) {
+      BoundedQueue<Packet>& dq = dest_queues_[d];
+      // A full destination cannot accept; the historical scan broke out of
+      // the source loop at the first routed candidate without mutating any
+      // state, so skipping the probe entirely is behaviorally identical.
+      if (dq.full()) continue;
+      int accepted = 0;
+      for (int k = 0; k < num_sources && accepted < accepts_per_cycle_; ++k) {
+        const int s = (rr_[d] + k) % num_sources;
+        if (!((ready >> s) & 1)) continue;
+        BoundedQueue<Packet>& sq = *sources[s];
+        if (route_(sq.front()) != d) continue;
+        if (dq.full()) break;  // destination buffer back-pressure
+        Packet p = sq.pop();
+        p.ready = now + latency_;
+        const bool ok = dq.try_push(std::move(p));
+        SIM_CHECK(ok, SimError(SimErrorKind::kQueueOverflow, "noc.crossbar",
+                               "destination queue overflow after full() check")
+                          .cycle(now)
+                          .detail("dest_port", d)
+                          .detail("occupancy", dq.size())
+                          .detail("capacity", dq.capacity()));
+        ready &= ~(u64{1} << s);
+        ++accepted;
+        rr_[d] = (s + 1) % num_sources;
+        if (d < 64) accepted_dests |= u64{1} << d;
+      }
+    }
+    return accepted_dests;
+  }
+
+  BoundedQueue<Packet>& dest_queue(int d) { return dest_queues_[d]; }
+  const BoundedQueue<Packet>& dest_queue(int d) const {
+    return dest_queues_[d];
+  }
+  int num_dests() const { return static_cast<int>(dest_queues_.size()); }
+
+  bool all_empty() const {
+    for (const auto& q : dest_queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+  // SimState: destination FIFOs and round-robin pointers.  source_sent_ is
+  // scratch that transfer_scan() refills from scratch every cycle, so it is
+  // dead at any between-cycles snapshot boundary and deliberately excluded.
+  template <typename Sink>
+  void write_state(Sink& s) const {
+    s.put_tag("XBAR");
+    for (const auto& q : dest_queues_) q.write_state(s);
+    for (int v : rr_) s.put_i32(v);
+  }
+  void save(StateWriter& w) const { write_state(w); }
+  void hash(Hasher& h) const { write_state(h); }
+  void load(StateReader& r) {
+    r.expect_tag("XBAR");
+    for (auto& q : dest_queues_) q.load(r);
+    for (int& v : rr_) v = r.get_i32();
+  }
+
+ private:
+  // Historical full round-robin scan, kept for channels wider than the
+  // 64-source bitmask.  Same arbitration semantics as the masked path.
+  u64 transfer_scan(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
+    const int num_sources = static_cast<int>(sources.size());
+    std::fill(source_sent_.begin(), source_sent_.end(), 0);
+    u64 accepted_dests = 0;
     for (int d = 0; d < static_cast<int>(dest_queues_.size()); ++d) {
       BoundedQueue<Packet>& dq = dest_queues_[d];
       int accepted = 0;
@@ -77,44 +171,15 @@ class CrossbarChannel {
         source_sent_[s] = 1;
         ++accepted;
         rr_[d] = (s + 1) % num_sources;
+        if (d < 64) accepted_dests |= u64{1} << d;
       }
     }
+    return accepted_dests;
   }
 
-  BoundedQueue<Packet>& dest_queue(int d) { return dest_queues_[d]; }
-  const BoundedQueue<Packet>& dest_queue(int d) const {
-    return dest_queues_[d];
-  }
-  int num_dests() const { return static_cast<int>(dest_queues_.size()); }
-
-  bool all_empty() const {
-    for (const auto& q : dest_queues_) {
-      if (!q.empty()) return false;
-    }
-    return true;
-  }
-
-  // SimState: destination FIFOs and round-robin pointers.  source_sent_ is
-  // scratch that transfer() refills from scratch every cycle, so it is dead
-  // at any between-cycles snapshot boundary and deliberately excluded.
-  template <typename Sink>
-  void write_state(Sink& s) const {
-    s.put_tag("XBAR");
-    for (const auto& q : dest_queues_) q.write_state(s);
-    for (int v : rr_) s.put_i32(v);
-  }
-  void save(StateWriter& w) const { write_state(w); }
-  void hash(Hasher& h) const { write_state(h); }
-  void load(StateReader& r) {
-    r.expect_tag("XBAR");
-    for (auto& q : dest_queues_) q.load(r);
-    for (int& v : rr_) v = r.get_i32();
-  }
-
- private:
   Cycle latency_;
   int accepts_per_cycle_;
-  RouteFn route_;
+  Router route_;
   std::vector<BoundedQueue<Packet>> dest_queues_;
   std::vector<int> rr_;
   std::vector<u8> source_sent_;

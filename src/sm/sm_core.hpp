@@ -149,6 +149,19 @@ class SmCore {
     return hit < next_retry_deadline_ ? hit : next_retry_deadline_;
   }
 
+  /// Earliest cycle a quiet core must be processed again, given its
+  /// response delivery queue: the next local event or the head response's
+  /// maturity, whichever comes first.  Only meaningful right after a
+  /// cycle() that left the core quiet_at() — the activity engine's sleep
+  /// bound (later crossbar deliveries wake the core explicitly).
+  Cycle wake_after(const BoundedQueue<MemResponsePacket>& resp_in) const {
+    Cycle next = next_local_event();
+    if (!resp_in.empty() && resp_in.front().ready < next) {
+      next = resp_in.front().ready;
+    }
+    return next;
+  }
+
   /// Applies `n` quiet cycles' worth of the issue-stage stall/idle
   /// accounting in one lump.  Valid only while quiet_at() holds throughout.
   void skip_cycles(Cycle n) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Determinism gate: run representative workloads through the CLI's
-# state-hash divergence audit (fast-forward on vs one run with it off) and
-# verify a snapshotted + resumed run's report is byte-identical to an
-# uninterrupted one.  A clean pass means the execution-strategy knobs
-# cannot change simulated output.
+# state-hash divergence audit (activity engine + fast-forward on vs both
+# off, including under a fault schedule), run the randomized
+# activity-engine equivalence suite, and verify a snapshotted + resumed
+# run's report is byte-identical to an uninterrupted one.  A clean pass
+# means the execution-strategy knobs cannot change simulated output.
 #
 #   tools/check_determinism.sh [build-dir]     (default: build)
 #
@@ -27,10 +28,25 @@ fi
 WORKLOADS=("SD,SA" "SN,CT" "VA,CT,SD,SN" "BS,QR")
 
 for apps in "${WORKLOADS[@]}"; do
-  echo "== audit --apps $apps (fast-forward on vs off, $CYCLES cycles)"
+  echo "== audit --apps $apps (activity engine + fast-forward on vs off, $CYCLES cycles)"
   "$CLI" --apps "$apps" --audit-determinism --cycles "$CYCLES" \
          --hash-every 10000
 done
+
+# Fault schedules pin the engine off per-cycle exactly like the legacy
+# fast-forward guard; audit that the pinning itself is invisible.
+echo "== audit --apps SD,SA under a fault schedule"
+"$CLI" --apps SD,SA --audit-determinism --cycles "$CYCLES" \
+       --fault-schedule "drop-resp:nth=200;stall:part=0,from=1000,until=5000;seed=7"
+
+# Randomized equivalence suite: 24 random configs (SM/partition counts,
+# queue depths, retry knobs) x {plain, faults, mid-run repartition,
+# snapshot/restore}, engine on vs off.
+echo "== activity_sched_test (randomized engine-on/off equivalence)"
+if [[ ! -x "$BUILD_DIR/tests/activity_sched_test" ]]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target activity_sched_test
+fi
+"$BUILD_DIR/tests/activity_sched_test"
 
 # Snapshot/resume determinism: a run snapshotted every 20K cycles must
 # print byte-identical results to a plain run.

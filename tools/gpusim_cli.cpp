@@ -333,16 +333,24 @@ struct AuditSim {
 
 int run_audit(const RunConfig& rc, const Workload& workload,
               Cycle hash_every) {
+  // Run A is the production configuration (activity engine + fast-forward
+  // on, unless --no-activity-sched asked for the legacy pairing); run B is
+  // the plain per-cycle walk with every optimization off.  Any state-hash
+  // divergence between them is a real bug in the skipping machinery.
   AuditSim a(rc, workload);
   AuditSim b(rc, workload);
+  a.sim->set_activity_sched(rc.activity_sched);
   a.sim->set_fast_forward(true);
+  b.sim->set_activity_sched(false);
   b.sim->set_fast_forward(false);
+  const char* mode = rc.activity_sched
+                         ? "activity engine + fast-forward on vs both off"
+                         : "fast-forward on vs off, activity engine off";
   const DivergenceReport report =
       audit_divergence(*a.sim, *b.sim, rc.co_run_cycles, hash_every);
-  std::cout << "determinism audit (" << workload.label()
-            << ", fast-forward on vs off, " << rc.co_run_cycles
-            << " cycles, hash every " << hash_every
-            << "): " << report.to_string() << '\n';
+  std::cout << "determinism audit (" << workload.label() << ", " << mode
+            << ", " << rc.co_run_cycles << " cycles, hash every "
+            << hash_every << "): " << report.to_string() << '\n';
   return report.diverged ? 4 : 0;
 }
 
@@ -372,6 +380,7 @@ int main(int argc, char** argv) {
   bool audit_determinism = false;
   Cycle hash_every = 10'000;
   bool have_hash_every = false;
+  bool profile_loop = false;
   int chaos_schedules = 0;
   u64 chaos_seed = 1;
   bool chaos_recovery = true;
@@ -503,6 +512,12 @@ int main(int argc, char** argv) {
         hash_every = parse_u64(argv[0], arg, value, 1);
         have_hash_every = true;
         break;
+      case FlagId::kNoActivitySched:
+        rc.activity_sched = false;
+        break;
+      case FlagId::kProfileLoop:
+        profile_loop = true;
+        break;
       case FlagId::kChaos:
         chaos_schedules = static_cast<int>(parse_u64(argv[0], arg, value, 1));
         break;
@@ -621,6 +636,13 @@ int main(int argc, char** argv) {
   if (!manifest_path.empty() && job_file.empty()) {
     usage(argv[0], "--manifest requires --job-file");
   }
+  if (profile_loop &&
+      (jobs_mode || chaos_schedules > 0 || !sweep_which.empty() ||
+       audit_determinism || !fault_spec.empty())) {
+    usage(argv[0],
+          "--profile-loop applies to plain single runs (use the bench "
+          "binary for profiled batch scenarios)");
+  }
 
   // Wire the drain flag and the run limits into every mode.
   rc.cancel = shutdown_flag();
@@ -702,10 +724,17 @@ int main(int argc, char** argv) {
                         argv[0]);
     }
 
+    LoopProfiler profiler;
+    if (profile_loop) rc.profiler = &profiler;
     ExperimentRunner runner(rc);
     const CoRunResult result = runner.run(workload, models, policy,
                                           have_split ? &split : nullptr);
     print_result(result, models);
+    if (profile_loop) {
+      std::cout << "{\n\"schema\": \"gpusim-loop-profile-v1\",\n"
+                << profiler.to_json_lines(/*trailing_comma=*/true)
+                << "\"profile_total_ns\": " << profiler.total_ns() << "\n}\n";
+    }
     return 0;
   } catch (const SimError& e) {
     std::cerr << "simulation error [" << to_string(e.kind()) << "] in "
