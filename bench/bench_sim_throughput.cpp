@@ -165,7 +165,13 @@ int main(int argc, char** argv) {
   rc.co_run_cycles = cycles_from_env("BENCH_SWEEP_CYCLES", 60'000);
   rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
   const double serial_s = time_sweep(rc, sweep_pairs, 1);
-  const double parallel_s = time_sweep(rc, sweep_pairs, sweep_jobs);
+  // A parallel sweep on a single hardware thread (or with --jobs 1) just
+  // re-times the serial path plus scheduling noise; the "speedup" it
+  // reports would be ~1.0 by construction and meaningless.  Skip the
+  // timing and flag the key instead of publishing a junk number.
+  const bool parallel_meaningful = hw > 1 && sweep_jobs > 1;
+  const double parallel_s =
+      parallel_meaningful ? time_sweep(rc, sweep_pairs, sweep_jobs) : 0.0;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -200,8 +206,10 @@ int main(int argc, char** argv) {
   std::fprintf(out, "\"sweep_jobs\": %d,\n", sweep_jobs);
   std::fprintf(out, "\"sweep_serial_seconds\": %.3f,\n", serial_s);
   std::fprintf(out, "\"sweep_parallel_seconds\": %.3f,\n", parallel_s);
-  std::fprintf(out, "\"sweep_parallel_speedup\": %.3f\n",
+  std::fprintf(out, "\"sweep_parallel_speedup\": %.3f,\n",
                parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::fprintf(out, "\"sweep_parallel_speedup_meaningful\": %s\n",
+               parallel_meaningful ? "true" : "false");
   std::fprintf(out, "}\n");
   std::fclose(out);
 
@@ -214,9 +222,16 @@ int main(int argc, char** argv) {
       "(%.1f%% fast-forwarded), %.0f without (%.2fx)\n",
       contended.cycles_per_sec, 100.0 * contended.fast_forwarded_fraction,
       contended_off.cycles_per_sec, contended_speedup);
-  std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
-              sweep_pairs, serial_s, parallel_s, sweep_jobs,
-              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  if (parallel_meaningful) {
+    std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
+                sweep_pairs, serial_s, parallel_s, sweep_jobs,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  } else {
+    std::printf(
+        "sweep %d pairs: %.3fs serial; parallel speedup skipped "
+        "(%d hardware thread(s), %d sweep job(s) — nothing to compare)\n",
+        sweep_pairs, serial_s, hw, sweep_jobs);
+  }
   std::printf("baseline written: %s\n", out_path.c_str());
   return 0;
 }

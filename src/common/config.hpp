@@ -77,6 +77,14 @@ struct GpuConfig {
   Cycle mshr_retry_timeout = 50'000;
   int mshr_retry_max = 4;
 
+  // ---- Flight recorder (black-box event ring) ----
+  /// Capacity of the always-on flight-recorder event ring (block
+  /// dispatches, migrations, MSHR reissues, fault firings, crossbar
+  /// stalls, queue high-water marks).  The ring is serialized through the
+  /// SimState walk, so its size is part of the snapshot fingerprint.
+  /// 0 disables recording entirely.
+  int flight_recorder_events = 1024;
+
   // ---- DASE model parameters ----
   Cycle estimation_interval = 50'000;  // paper Section 4.4: fixed 50K cycles
   double requestmax_factor = 0.6;      // paper Eq. 20 empirical default
@@ -150,6 +158,7 @@ struct GpuConfig {
     s.put_bool(mshr_retry_enabled);
     s.put_u64(mshr_retry_timeout);
     s.put_i32(mshr_retry_max);
+    s.put_i32(flight_recorder_events);
   }
 };
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -36,6 +37,11 @@ Field number_field(T GpuConfig::* member, const char* comment) {
   return Field{
       [member](const GpuConfig& c) {
         std::ostringstream ss;
+        // max_digits10 precision so doubles survive a write/read round
+        // trip exactly: crash-bundle triage reconstructs the fingerprinted
+        // config from this text, and a 6-digit default would silently
+        // shift dram_clock_ratio (1400/924) into a different fingerprint.
+        ss.precision(std::numeric_limits<T>::max_digits10);
         ss << c.*member;
         return ss.str();
       },
@@ -101,6 +107,7 @@ const std::map<std::string, Field>& field_table() {
       {"mshr_retry_enabled", bool_field(&GpuConfig::mshr_retry_enabled, "SM reissues timed-out misses")},
       {"mshr_retry_timeout", number_field(&GpuConfig::mshr_retry_timeout, "cycles before first reissue")},
       {"mshr_retry_max", number_field(&GpuConfig::mshr_retry_max, "reissues before recovery-exhausted")},
+      {"flight_recorder_events", number_field(&GpuConfig::flight_recorder_events, "black-box event ring capacity (0 = off)")},
   };
   return table;
 }

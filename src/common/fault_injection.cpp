@@ -220,6 +220,10 @@ const ConfigCorruption kCorruptions[] = {
      [](GpuConfig& c) { c.partition_resp_queue_depth = -1; }},
     {"mshr_retry_timeout=0", [](GpuConfig& c) { c.mshr_retry_timeout = 0; }},
     {"mshr_retry_max=0", [](GpuConfig& c) { c.mshr_retry_max = 0; }},
+    {"flight_recorder_events=-1",
+     [](GpuConfig& c) { c.flight_recorder_events = -1; }},
+    {"flight_recorder_events=1<<21",
+     [](GpuConfig& c) { c.flight_recorder_events = 1 << 21; }},
 };
 
 }  // namespace

@@ -43,6 +43,8 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
                 .detail("launches", launches.size())
                 .detail("kMaxApps", kMaxApps));
 
+  recorder_.init(cfg_.flight_recorder_events, cfg_.num_partitions);
+
   runtimes_.reserve(launches.size());
   for (std::size_t a = 0; a < launches.size(); ++a) {
     runtimes_.push_back(std::make_unique<AppRuntime>(
@@ -55,6 +57,7 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
     sms_.push_back(std::make_unique<SmCore>(cfg_, s, address_map_));
     sms_.back()->set_instr_sink(&instructions_);
     sms_.back()->set_taps(&taps_);
+    sms_.back()->set_flight_recorder(&recorder_);
     sm_out_ptrs_.push_back(&sms_.back()->out_queue());
   }
   partitions_.reserve(cfg_.num_partitions);
@@ -62,6 +65,7 @@ Gpu::Gpu(const GpuConfig& cfg, std::vector<AppLaunch> launches)
     partitions_.push_back(
         std::make_unique<MemoryPartition>(cfg_, num_apps(), p));
     partitions_.back()->set_taps(&taps_);
+    partitions_.back()->set_flight_recorder(&recorder_);
     part_resp_ptrs_.push_back(&partitions_.back()->resp_queue());
   }
 }
@@ -103,6 +107,13 @@ void Gpu::set_partition(const std::vector<AppId>& desired) {
   // per-cycle path — settle and invalidate the engine first.
   sync_all_to(now_);
   engine_dirty_ = true;
+  u64 changing = 0;
+  for (int s = 0; s < cfg_.num_sms; ++s) {
+    if (sms_[s]->app() != desired[s]) ++changing;
+  }
+  if (changing != 0) {
+    recorder_.record(now_, FrEvent::kMigrationRequested, -1, -1, changing, 0);
+  }
   desired_partition_ = desired;
   migration_pending_ = true;
   progress_migration();
@@ -131,6 +142,7 @@ void Gpu::set_priority_app(AppId app) {
 }
 
 void Gpu::progress_migration() {
+  const bool was_pending = migration_pending_;
   bool pending = false;
   for (int s = 0; s < cfg_.num_sms; ++s) {
     SmCore& sm = *sms_[s];
@@ -142,6 +154,7 @@ void Gpu::progress_migration() {
       }
       continue;
     }
+    const AppId old_owner = sm.app();
     if (sm.assigned()) {
       if (!sm.draining()) sm.start_drain();
       if (sm.drained()) {
@@ -151,12 +164,20 @@ void Gpu::progress_migration() {
         continue;
       }
     }
+    recorder_.record(now_, FrEvent::kMigrationHandover, s, want,
+                     old_owner == kInvalidApp
+                         ? 0
+                         : static_cast<u64>(old_owner) + 1,
+                     0);
     if (want != kInvalidApp) {
-      sm.assign(runtimes_[want].get());
+      sm.assign(runtimes_[want].get(), now_);
     }
     // (Re-check: newly assigned SM now matches `want`.)
   }
   migration_pending_ = pending;
+  if (was_pending && !pending) {
+    recorder_.record(now_, FrEvent::kMigrationComplete, -1, -1, 0, 0);
+  }
 }
 
 void Gpu::cycle() {
@@ -269,7 +290,10 @@ void Gpu::cycle_engine() {
   //    accepted packet matures at now + latency; wake its partition then.
   if (req_src_mask_ != 0) {
     ProfScope prof(profiler_, LoopProfiler::kXbarReq);
-    const u64 accepted = req_net_.transfer(now_, sm_out_ptrs_);
+    u64 blocked = 0;
+    const u64 accepted = req_net_.transfer(
+        now_, sm_out_ptrs_, recorder_.enabled() ? &blocked : nullptr);
+    recorder_.note_xbar_stall(now_, /*resp_channel=*/false, blocked);
     if (accepted != 0) {
       const Cycle arrive = now_ + cfg_.noc_latency;
       for (int p = 0; p < cfg_.num_partitions; ++p) {
@@ -311,7 +335,10 @@ void Gpu::cycle_engine() {
   //    accepted packet matures at its SM at now + latency.
   if (resp_src_mask_ != 0) {
     ProfScope prof(profiler_, LoopProfiler::kXbarResp);
-    const u64 accepted = resp_net_.transfer(now_, part_resp_ptrs_);
+    u64 blocked = 0;
+    const u64 accepted = resp_net_.transfer(
+        now_, part_resp_ptrs_, recorder_.enabled() ? &blocked : nullptr);
+    recorder_.note_xbar_stall(now_, /*resp_channel=*/true, blocked);
     if (accepted != 0) {
       const Cycle arrive = now_ + cfg_.noc_latency;
       for (int s = 0; s < cfg_.num_sms; ++s) {
@@ -339,7 +366,9 @@ void Gpu::cycle_full() {
           if (d.action == ResponseAction::kDrop) {
             // Injected fault: the response vanishes at delivery, stranding
             // its warp.  Taps stay silent so the auditor must detect the
-            // leak.
+            // leak; the flight recorder logs what really happened.
+            recorder_.record(now_, FrEvent::kFaultDropResp, s, resp.app,
+                             resp.line_addr, 0);
             continue;
           }
           if (d.action == ResponseAction::kNack) {
@@ -348,7 +377,11 @@ void Gpu::cycle_full() {
             // queue refilled meanwhile, the NACK has nowhere to park and the
             // packet is delivered after all.
             resp.ready = now_ + d.delay;
-            if (rq.try_push(resp)) continue;
+            if (rq.try_push(resp)) {
+              recorder_.record(now_, FrEvent::kFaultNack, s, resp.app,
+                               resp.line_addr, d.delay);
+              continue;
+            }
           }
         }
         taps_.responses_delivered.add(resp.app);
@@ -374,8 +407,11 @@ void Gpu::cycle_full() {
       auto& oq = sms_[s]->out_queue();
       if (oq.empty() || oq.front().ready > now_) continue;
       MemRequestPacket& pkt = oq.front();
+      const PartitionId intended = pkt.dest;
       pkt.dest = (pkt.dest + 1) % cfg_.num_partitions;
       injector_->note_misroute_fired();
+      recorder_.record(now_, FrEvent::kFaultMisroute, pkt.dest, pkt.app,
+                       pkt.line_addr, static_cast<u64>(intended));
       break;
     }
   }
@@ -383,7 +419,10 @@ void Gpu::cycle_full() {
   // 2. Request crossbar: SM output FIFOs -> partition delivery queues.
   {
     ProfScope prof(profiler_, LoopProfiler::kXbarReq);
-    req_net_.transfer(now_, sm_out_ptrs_);
+    u64 blocked = 0;
+    req_net_.transfer(now_, sm_out_ptrs_,
+                      recorder_.enabled() ? &blocked : nullptr);
+    recorder_.note_xbar_stall(now_, /*resp_channel=*/false, blocked);
   }
 
   // 3. Memory partitions (L2 + DRAM).
@@ -403,7 +442,10 @@ void Gpu::cycle_full() {
   // 4. Response crossbar: partition response FIFOs -> SM delivery queues.
   {
     ProfScope prof(profiler_, LoopProfiler::kXbarResp);
-    resp_net_.transfer(now_, part_resp_ptrs_);
+    u64 blocked = 0;
+    resp_net_.transfer(now_, part_resp_ptrs_,
+                       recorder_.enabled() ? &blocked : nullptr);
+    recorder_.note_xbar_stall(now_, /*resp_channel=*/true, blocked);
   }
 
   // 5. Hand over any drained SMs under a pending repartition.
@@ -647,6 +689,44 @@ std::string Gpu::dump_state() const {
   ss << "\n    resp_net backlog=" << resp_net_backlog
      << " instructions=" << instructions_.grand_total()
      << " quiescent=" << (memory_system_quiescent() ? "yes" : "no");
+  // Activity-engine view: which components the scheduler believes are
+  // asleep and until when, plus how much lazily-deferred accrual each one
+  // still owes.  A watchdog stall with a far-future wake here points at a
+  // lost wake-up; an owed accrual at a stall points at a settle bug.
+  ss << "\n    activity engine: "
+     << (engine_enabled() ? "active" : "inactive")
+     << (activity_sched_ ? "" : " (disabled)")
+     << (engine_supported_ ? "" : " (unsupported geometry)")
+     << (injector_ != nullptr ? " (pinned: fault injector)" : "")
+     << (migration_pending_ ? " (pinned: migration pending)" : "")
+     << (engine_dirty_ ? " dirty" : "")
+     << " req_src_mask=0x" << std::hex << req_src_mask_
+     << " resp_src_mask=0x" << resp_src_mask_ << std::dec;
+  auto dump_cursors = [&ss, this](const char* what,
+                                  const std::vector<Cycle>& wake,
+                                  const std::vector<Cycle>& synced) {
+    ss << "\n    " << what << " wake/owed:";
+    for (std::size_t i = 0; i < wake.size(); ++i) {
+      ss << ' ' << i << ":";
+      if (wake[i] <= now_) {
+        ss << "due";
+      } else if (wake[i] == kNeverCycle) {
+        ss << "never";
+      } else {
+        ss << "+" << (wake[i] - now_);
+      }
+      if (synced[i] < now_) ss << "(owed " << (now_ - synced[i]) << ")";
+    }
+  };
+  dump_cursors("sm", sm_wake_, sm_synced_);
+  dump_cursors("partition", part_wake_, part_synced_);
+  ss << "\n    flight recorder: "
+     << (recorder_.enabled()
+             ? std::to_string(recorder_.size()) + "/" +
+                   std::to_string(recorder_.capacity()) + " events held, " +
+                   std::to_string(recorder_.total_recorded()) +
+                   " recorded in total"
+             : std::string("disabled"));
   return ss.str();
 }
 
@@ -683,6 +763,10 @@ void Gpu::write_state(Sink& s) const {
   // faults fire at the same event after a restore.
   s.put_bool(injector_ != nullptr);
   if (injector_ != nullptr) injector_->write_state(s);
+  // The flight-recorder ring is simulated state: its taps fire on simulated
+  // transitions only, so the ring contents are deterministic and must
+  // survive snapshot/restore for --triage replays to hash-match.
+  recorder_.write_state(s);
 }
 
 template void Gpu::write_state<StateWriter>(StateWriter&) const;
@@ -726,6 +810,7 @@ void Gpu::load(StateReader& r) {
                 .detail("snapshot_has_injector", had_injector)
                 .detail("gpu_has_injector", injector_ != nullptr));
   if (injector_ != nullptr) injector_->load(r);
+  recorder_.load(r);
   // Restored state is exactly what the per-cycle walk would hold at the
   // restored clock: nothing is owed, and wakes/masks must be rebuilt.
   for (Cycle& c : sm_synced_) c = now_;
@@ -772,6 +857,7 @@ std::vector<std::pair<std::string, u64>> Gpu::component_hashes() const {
   if (injector_ != nullptr) {
     out.emplace_back("fault_injector", state_hash_of(*injector_));
   }
+  out.emplace_back("flight_recorder", state_hash_of(recorder_));
   return out;
 }
 

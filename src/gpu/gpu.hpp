@@ -11,6 +11,7 @@
 #include "common/audit.hpp"
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/loop_profiler.hpp"
 #include "common/sim_error.hpp"
 #include "common/stats.hpp"
@@ -163,6 +164,11 @@ class Gpu {
 
   const ConservationTaps& conservation_taps() const { return taps_; }
 
+  /// Black-box flight recorder (sized by cfg.flight_recorder_events).  The
+  /// ring rides along in snapshots and crash bundles; --triage prints it.
+  FlightRecorder& flight_recorder() { return recorder_; }
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
   // --- SimState ----------------------------------------------------------
   // Serializes every run-time-evolving field of the whole GPU: clock,
   // interval bookkeeping, partition table, app runtimes, SMs (with their
@@ -228,6 +234,7 @@ class Gpu {
   PerAppCounter sm_cycles_;
   ConservationTaps taps_;
   FaultInjector* injector_ = nullptr;
+  FlightRecorder recorder_;
 
   // Activity-engine bookkeeping.  None of it is simulated state: wakes and
   // masks are derivable from component state, and the synced cursors only

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/sim_error.hpp"
 #include "common/simstate.hpp"
 
@@ -60,6 +61,7 @@ void write_snapshot_file(const std::string& path, const Simulation& sim,
   w.put_u32(kSnapshotVersion);
   w.put_u32(kEndianProbe);
   w.put_u64(fingerprint);
+  w.put_u64(build_fingerprint());
   w.put_u64(sim.gpu().now());
   w.put_u64(sim.state_hash());
   w.put_u64(payload.size());
@@ -115,6 +117,7 @@ SnapshotHeader parse(const std::string& path, std::vector<u8>& bytes,
             io_error(path, "snapshot endianness probe mismatch")
                 .detail("probe", endian));
   hdr.fingerprint = r.get_u64();
+  hdr.build = r.get_u64();
   hdr.cycle = r.get_u64();
   hdr.state_hash = r.get_u64();
   hdr.payload_size = r.get_u64();

@@ -6,6 +6,7 @@
 //   version      u32      kSnapshotVersion
 //   endianness   u32      0x01020304 (byte order probe)
 //   fingerprint  u64      hash of config + workload + harness context
+//   build        u64      build_fingerprint() of the writer (informational)
 //   cycle        u64      gpu.now() at save time
 //   state_hash   u64      Simulation::state_hash() at save time
 //   payload_size u64
@@ -32,11 +33,16 @@ namespace gpusim {
 
 // Version 2: recovery-tap counters, SM retry/dup-expect maps, estimator
 // sanitization counters, and fault-injector progress joined the state walk.
-inline constexpr u32 kSnapshotVersion = 2;
+// Version 3: flight-recorder ring joined the state walk; header gained the
+// writer's build fingerprint (informational — mismatch is surfaced by
+// --triage, not rejected, since the config/workload fingerprint already
+// gates restorability).
+inline constexpr u32 kSnapshotVersion = 3;
 
 struct SnapshotHeader {
   u32 version = 0;
   u64 fingerprint = 0;
+  u64 build = 0;
   Cycle cycle = 0;
   u64 state_hash = 0;
   u64 payload_size = 0;

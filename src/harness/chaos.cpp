@@ -19,6 +19,7 @@
 #include "common/sim_error.hpp"
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
+#include "harness/crash_bundle.hpp"
 #include "harness/runner.hpp"
 #include "harness/worker_pool.hpp"
 #include "sched/dase_fair.hpp"
@@ -236,38 +237,29 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
   r.policy = dase_fair ? "dase-fair" : "even";
   r.schedule = schedule.to_string();
 
-  const int n = static_cast<int>(workload.apps.size());
-  std::vector<AppLaunch> launches;
-  for (int i = 0; i < n; ++i) {
-    launches.push_back(
-        AppLaunch{workload.apps[i], harness_app_seed(opts.base_seed, i)});
-  }
+  // Chaos jobs ride the shared co-run assembly (harness/runner.hpp), so a
+  // crash bundle written here replays through the exact observer list and
+  // seeds a --triage session will rebuild.
+  RunConfig rc;
+  rc.gpu = cfg;
+  rc.co_run_cycles = opts.cycles;
+  rc.base_seed = opts.base_seed;
+  rc.watchdog_cycles = std::max<Cycle>(5'000, opts.cycles / 4);
+  rc.faults = schedule;
+  rc.cancel = opts.cancel;
+  rc.wall_deadline = opts.wall_deadline;
+  rc.crash_bundle_dir = opts.crash_bundle_dir;
+  rc.crash_bundle_mode = "chaos";
+  ModelSet models;
+  models.dase = models.mise = models.asm_model = true;
+  const PolicyKind policy =
+      dase_fair ? PolicyKind::kDaseFair : PolicyKind::kEven;
 
-  auto dase = std::make_unique<DaseModel>();
-  auto mise = std::make_unique<MiseModel>();
-  auto asm_model = std::make_unique<AsmModel>();
-  auto epochs = std::make_unique<PriorityEpochDriver>(
-      PriorityEpochDriver::with_defaults(cfg, n));
-  std::unique_ptr<DaseFairPolicy> fair;
-
-  Simulation sim(cfg, std::move(launches));
-  sim.gpu().set_partition(even_partition(sim.gpu().num_sms(), n));
-  sim.set_watchdog(std::max<Cycle>(5'000, opts.cycles / 4));
-  if (opts.cancel != nullptr) sim.set_cancel(opts.cancel);
-  if (opts.wall_deadline != std::chrono::steady_clock::time_point{}) {
-    sim.set_wall_deadline(opts.wall_deadline);
-  }
-  sim.add_observer(dase.get());
-  sim.add_observer(mise.get());
-  sim.add_observer(asm_model.get());
-  sim.add_cycle_hook(epochs.get());
-  if (dase_fair) {
-    fair = std::make_unique<DaseFairPolicy>(dase.get());
-    sim.add_observer(fair.get());
-  }
-
-  FaultInjector injector(schedule);
-  sim.gpu().set_fault_injector(&injector);
+  CoRunAssembly assembly = assemble_corun(rc, workload, models, policy);
+  Simulation& sim = *assembly.sim;
+  DaseModel* dase = assembly.dase.get();
+  MiseModel* mise = assembly.mise.get();
+  AsmModel* asm_model = assembly.asm_model.get();
 
   auto collect = [&]() {
     r.final_cycle = sim.gpu().now();
@@ -289,6 +281,11 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
     if (e.kind() == SimErrorKind::kInterrupted ||
         e.kind() == SimErrorKind::kDeadlineExceeded) {
       throw;
+    }
+    if (!rc.crash_bundle_dir.empty()) {
+      const TriageContext ctx =
+          triage_context_of(rc, workload, models, policy, nullptr, sim);
+      write_crash_bundle(rc.crash_bundle_dir, sim, rc.gpu, e, ctx);
     }
     collect();
     r.error_kind = to_string(e.kind());
@@ -321,6 +318,7 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
     }
   }
   const AuditReport audit = sim.gpu().audit_conservation();
+  const int n = static_cast<int>(workload.apps.size());
   bool finite = true;
   for (int a = 0; a < n; ++a) {
     if (!std::isfinite(dase->mean_slowdown(a)) ||
@@ -337,7 +335,8 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
     r.outcome = ChaosOutcome::kGuardCaught;
     r.error_kind = to_string(SimErrorKind::kConservation);
     r.detail = "conservation audit imbalance beyond the recovery tolerance";
-  } else if (injector.silently_corrupting()) {
+  } else if (assembly.injector != nullptr &&
+             assembly.injector->silently_corrupting()) {
     r.outcome = ChaosOutcome::kWrongResult;
     r.detail = "request misrouted to the wrong partition: results corrupt";
   } else if (!finite) {
@@ -355,6 +354,10 @@ FaultSchedule minimize_failing_schedule(const ChaosOptions& opts,
                                         bool dase_fair,
                                         const FaultSchedule& schedule,
                                         ChaosOutcome failure) {
+  // Minimization re-runs the failing job dozens of times; bundling every
+  // probe would bury the original bundle, so probes never bundle.
+  ChaosOptions probe_opts = opts;
+  probe_opts.crash_bundle_dir.clear();
   FaultSchedule best = schedule;
   bool shrunk = true;
   while (shrunk && best.events.size() > 1) {
@@ -363,7 +366,7 @@ FaultSchedule minimize_failing_schedule(const ChaosOptions& opts,
       FaultSchedule cand = best;
       cand.events.erase(cand.events.begin() + static_cast<long>(i));
       const ChaosJobResult probe =
-          run_chaos_job(opts, workload, dase_fair, cand);
+          run_chaos_job(probe_opts, workload, dase_fair, cand);
       if (probe.outcome == failure) {
         best = std::move(cand);
         shrunk = true;

@@ -80,6 +80,12 @@ struct ChaosOptions {
   /// raises SimError(kDeadlineExceeded) out of run_chaos_campaign (again
   /// never classified).  Default-constructed = none.
   std::chrono::steady_clock::time_point wall_deadline{};
+  /// Crash forensics: when non-empty, every guard-caught/hang SimError a
+  /// chaos job catches also emits a crash bundle (harness/crash_bundle.hpp)
+  /// under this root before the job is classified.  Off by default — a
+  /// campaign *expects* failures, so bundling is opt-in; minimization
+  /// probes never bundle regardless.
+  std::string crash_bundle_dir;
 };
 
 struct ChaosJobResult {

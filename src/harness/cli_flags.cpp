@@ -107,10 +107,24 @@ const std::vector<FlagInfo>& flag_table() {
       {FlagId::kQuarantineAfter, "--quarantine-after", "N",
        "quarantine a job config after N consecutive failures (default 3;\n"
        "quarantined jobs exit 9 and carry a replay command)"},
+      {FlagId::kBundleDir, "--bundle-dir", "D",
+       "root directory for crash-forensics bundles (default\n"
+       "'crash-bundles'; also arms bundling for --chaos campaigns,\n"
+       "where it is otherwise off)"},
+      {FlagId::kNoBundle, "--no-bundle", nullptr,
+       "disable crash-bundle emission entirely"},
+      {FlagId::kTriage, "--triage", "BUNDLE",
+       "postmortem mode: restore the crash bundle's snapshot, replay to\n"
+       "the recorded failure cycle, verify the state hash bit-exactly and\n"
+       "print the flight-recorder timeline (exit 0 verified, 4 diverged,\n"
+       "3 bundle unusable)"},
       {FlagId::kDumpConfig, "--dump-config", nullptr,
        "print the default config file and exit"},
       {FlagId::kListApps, "--list-apps", nullptr,
        "print the application registry and exit"},
+      {FlagId::kVersion, "--version", nullptr,
+       "print the build fingerprint (version, schemas, toolchain,\n"
+       "feature flags) and exit"},
       {FlagId::kHelp, "--help", nullptr, "show this help (also -h)"},
   };
   return table;
@@ -129,8 +143,8 @@ const std::vector<ExitCodeInfo>& exit_code_table() {
       {0, "success"},
       {1, "failed sweep pairs / failed jobs in the batch"},
       {2, "usage error"},
-      {3, "simulation error (SimError)"},
-      {4, "determinism audit found a divergence"},
+      {3, "simulation error (SimError) / --triage bundle unusable"},
+      {4, "determinism audit or --triage replay found a divergence"},
       {5, "resumed past torn checkpoint lines (results complete, but a "
           "prior run crashed mid-write)"},
       {6, "interrupted by SIGINT/SIGTERM — drained gracefully; checkpoints "
@@ -159,6 +173,7 @@ std::string render_usage(const char* argv0) {
      << "       " << argv0 << " --chaos N [options]\n"
      << "       " << argv0 << " --job-file F [options]\n"
      << "       " << argv0 << " --jobs-resume MANIFEST [options]\n"
+     << "       " << argv0 << " --triage BUNDLE\n"
      << "\n";
   constexpr int kColumn = 22;
   for (const FlagInfo& flag : flag_table()) {

@@ -60,8 +60,12 @@ enum class FlagId {
   kManifest,
   kMaxRetries,
   kQuarantineAfter,
+  kBundleDir,
+  kNoBundle,
+  kTriage,
   kDumpConfig,
   kListApps,
+  kVersion,
   kHelp,
 };
 

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/bounded_queue.hpp"
+#include "common/build_info.hpp"
 #include "common/fault_injection.hpp"
 #include "common/sim_error.hpp"
 #include "harness/chaos.hpp"
@@ -199,6 +200,8 @@ RunConfig base_run_config(const JobSpec& spec, const JobManagerOptions& opts,
   rc.cycle_budget = spec.cycle_budget;
   rc.mem_budget = spec.mem_budget;
   rc.cancel = opts.cancel;
+  rc.crash_bundle_dir = opts.crash_bundle_dir;
+  rc.crash_bundle_mode = "jobs";
   return rc;
 }
 
@@ -296,6 +299,7 @@ std::string execute_chaos_job(const JobSpec& spec,
   co.base_seed = opts.base_seed;
   co.cancel = opts.cancel;
   co.wall_deadline = deadline;
+  co.crash_bundle_dir = opts.crash_bundle_dir;
   const ChaosReport report = run_chaos_campaign(co);
   for (const ChaosJobResult& job : report.jobs) {
     if (job.json.empty()) {
@@ -631,9 +635,13 @@ JobBatchReport JobManager::run(const std::vector<JobSpec>& specs) {
     SIM_CHECK(out.good(), SimError(SimErrorKind::kHarness, "harness.jobs",
                                    "cannot open manifest for writing")
                               .detail("path", opts_.manifest_path));
-    out << "{\"gpusim_jobs\":1,\"total\":" << specs.size()
+    // "build" is informational (resume never rejects on it): it lets a
+    // triage session tell whether a manifest was produced by this binary.
+    out << "{\"gpusim_jobs\":" << kJobsManifestSchema
+        << ",\"total\":" << specs.size()
         << ",\"base_seed\":" << opts_.base_seed
-        << ",\"default_cycles\":" << opts_.default_cycles << "}\n";
+        << ",\"default_cycles\":" << opts_.default_cycles
+        << ",\"build\":" << build_fingerprint() << "}\n";
     for (const JobSpec& spec : specs) {
       out << "{\"job\":" << spec.index << ",\"spec\":\""
           << escape_json(spec.raw) << "\"}\n";

@@ -171,6 +171,11 @@ struct JobManagerOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Per-job progress lines on stderr.
   bool verbose = false;
+  /// Crash forensics: when non-empty, any terminal SimError inside a job's
+  /// co-run (run/sweep jobs) or a guard-caught chaos schedule emits a
+  /// crash bundle under this root (see harness/crash_bundle.hpp).  Drains
+  /// (kInterrupted) and quarantine refusals never bundle.
+  std::string crash_bundle_dir;
 };
 
 struct JobBatchReport {

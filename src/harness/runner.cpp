@@ -15,6 +15,7 @@
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
 #include "gpu/snapshot.hpp"
+#include "harness/crash_bundle.hpp"
 #include "metrics/metrics.hpp"
 #include "sched/dase_fair.hpp"
 #include "sched/policies.hpp"
@@ -25,16 +26,38 @@ u64 harness_app_seed(u64 base_seed, int slot) {
   return base_seed + static_cast<u64>(slot) * 7919;
 }
 
+const char* to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kEven: return "even";
+    case PolicyKind::kDaseFair: return "dase-fair";
+    case PolicyKind::kLeftover: return "leftover";
+    case PolicyKind::kTemporal: return "temporal";
+    case PolicyKind::kDaseQos: return "dase-qos";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  for (const PolicyKind p :
+       {PolicyKind::kEven, PolicyKind::kDaseFair, PolicyKind::kLeftover,
+        PolicyKind::kTemporal, PolicyKind::kDaseQos}) {
+    if (name == to_string(p)) return p;
+  }
+  SIM_FAIL(SimError(SimErrorKind::kConfig, "harness.runner",
+                    "unknown scheduling policy name")
+               .detail("policy", name)
+               .detail("known", "even, dase-fair, leftover, temporal, "
+                                "dase-qos"));
+}
+
 namespace {
 
 u64 app_seed(u64 base_seed, int slot) {
   return harness_app_seed(base_seed, slot);
 }
 
-/// Everything about the *harness* side of an experiment that a snapshot is
-/// only valid against: the run length and seed plus the attached models,
-/// policy and SM split (which all shape the observer list and partition).
-/// Mixed into the snapshot-file fingerprint alongside config + workload.
+}  // namespace
+
 u64 harness_context_of(const RunConfig& rc, const ModelSet& models,
                        PolicyKind policy, const std::vector<int>* sm_split) {
   Hasher h;
@@ -55,6 +78,8 @@ u64 harness_context_of(const RunConfig& rc, const ModelSet& models,
   h.put_string(rc.faults.any() ? rc.faults.to_string() : std::string());
   return h.digest();
 }
+
+namespace {
 
 /// Snapshot file for one workload: "<dir>/<label>.simstate" with every
 /// character a filesystem might dislike replaced by '_'.
@@ -87,6 +112,132 @@ void apply_limits(const RunConfig& rc, Simulation& sim, bool co_run) {
 }
 
 }  // namespace
+
+TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
+                                const ModelSet& models, PolicyKind policy,
+                                const std::vector<int>* sm_split,
+                                const Simulation& sim) {
+  TriageContext ctx;
+  ctx.mode = rc.crash_bundle_mode;
+  ctx.label = workload.label();
+  for (const KernelProfile& app : workload.apps) {
+    ctx.apps.push_back(app.abbr);
+  }
+  ctx.base_seed = rc.base_seed;
+  ctx.co_run_cycles = rc.co_run_cycles;
+  ctx.policy = to_string(policy);
+  ctx.dase = models.dase;
+  ctx.mise = models.mise;
+  ctx.asm_model = models.asm_model;
+  ctx.faults = rc.faults.any() ? rc.faults.to_string() : std::string();
+  ctx.watchdog_cycles = rc.watchdog_cycles;
+  if (sm_split != nullptr) ctx.sm_split = *sm_split;
+  ctx.fingerprint = simulation_fingerprint(
+      sim, harness_context_of(rc, models, policy, sm_split));
+  return ctx;
+}
+
+CoRunAssembly::CoRunAssembly() = default;
+CoRunAssembly::CoRunAssembly(CoRunAssembly&&) noexcept = default;
+CoRunAssembly& CoRunAssembly::operator=(CoRunAssembly&&) noexcept = default;
+CoRunAssembly::~CoRunAssembly() = default;
+
+CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
+                             const ModelSet& models, PolicyKind policy,
+                             const std::vector<int>* sm_split) {
+  const int n = static_cast<int>(workload.apps.size());
+  SIM_CHECK(n >= 1 && n <= kMaxApps,
+            SimError(SimErrorKind::kHarness, "harness.runner",
+                     "workload must name between 1 and kMaxApps applications")
+                .detail("workload", workload.label())
+                .detail("num_apps", n)
+                .detail("kMaxApps", kMaxApps));
+
+  std::vector<AppLaunch> launches;
+  launches.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    launches.push_back(
+        AppLaunch{workload.apps[i], app_seed(rc.base_seed, i)});
+  }
+
+  CoRunAssembly a;
+  a.sim = std::make_unique<Simulation>(rc.gpu, std::move(launches));
+  Simulation& sim = *a.sim;
+  sim.set_watchdog(rc.watchdog_cycles);
+  apply_limits(rc, sim, /*co_run=*/true);
+  if (rc.profiler != nullptr) sim.set_loop_profiler(rc.profiler);
+  Gpu& gpu = sim.gpu();
+
+  if (rc.faults.any()) {
+    a.injector = std::make_unique<FaultInjector>(rc.faults);
+    gpu.set_fault_injector(a.injector.get());
+  }
+
+  // Partition the SMs.
+  if (sm_split != nullptr) {
+    SIM_CHECK(static_cast<int>(sm_split->size()) == n,
+              SimError(SimErrorKind::kHarness, "harness.runner",
+                       "sm_split must list one SM count per application")
+                  .detail("split_entries", sm_split->size())
+                  .detail("num_apps", n));
+    std::vector<AppId> assignment;
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < (*sm_split)[i]; ++k) {
+        assignment.push_back(i);
+      }
+    }
+    SIM_CHECK(static_cast<int>(assignment.size()) <= gpu.num_sms(),
+              SimError(SimErrorKind::kHarness, "harness.runner",
+                       "sm_split assigns more SMs than the GPU has")
+                  .detail("assigned", assignment.size())
+                  .detail("num_sms", gpu.num_sms()));
+    assignment.resize(gpu.num_sms(), kInvalidApp);
+    gpu.set_partition(assignment);
+  } else if (policy == PolicyKind::kLeftover) {
+    // Every registered kernel's grid occupies the full GPU, so the first
+    // application takes everything and the rest get the (empty) leftovers.
+    gpu.set_partition(LeftoverPolicy::allocation(
+        gpu.num_sms(), std::vector<int>(n, gpu.num_sms())));
+  } else if (policy == PolicyKind::kTemporal) {
+    gpu.set_partition(std::vector<AppId>(gpu.num_sms(), 0));
+  } else {
+    gpu.set_partition(even_partition(gpu.num_sms(), n));
+  }
+
+  // Attach models and (optionally) a scheduling policy.
+  const bool need_dase = models.dase || policy == PolicyKind::kDaseFair ||
+                         policy == PolicyKind::kDaseQos;
+  if (need_dase) {
+    a.dase = std::make_unique<DaseModel>();
+    sim.add_observer(a.dase.get());
+  }
+  if (models.mise) {
+    a.mise = std::make_unique<MiseModel>();
+    sim.add_observer(a.mise.get());
+  }
+  if (models.asm_model) {
+    a.asm_model = std::make_unique<AsmModel>();
+    sim.add_observer(a.asm_model.get());
+  }
+  if (models.any_epoch_model()) {
+    a.epochs = std::make_unique<PriorityEpochDriver>(
+        PriorityEpochDriver::with_defaults(rc.gpu, n));
+    sim.add_cycle_hook(a.epochs.get());
+  }
+  if (policy == PolicyKind::kDaseFair) {
+    a.fair = std::make_unique<DaseFairPolicy>(a.dase.get());
+    sim.add_observer(a.fair.get());
+  }
+  if (policy == PolicyKind::kDaseQos) {
+    a.qos = std::make_unique<DaseQosPolicy>(a.dase.get(), rc.qos);
+    sim.add_observer(a.qos.get());
+  }
+  if (policy == PolicyKind::kTemporal) {
+    a.temporal = std::make_unique<TemporalPolicy>(rc.temporal);
+    sim.add_cycle_hook(a.temporal.get());
+  }
+  return a;
+}
 
 double AppResult::estimation_error_of(const std::string& model) const {
   const auto it = estimates.find(model);
@@ -191,100 +342,16 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
                                   const ModelSet& models, PolicyKind policy,
                                   const std::vector<int>* sm_split) {
   const int n = static_cast<int>(workload.apps.size());
-  SIM_CHECK(n >= 1 && n <= kMaxApps,
-            SimError(SimErrorKind::kHarness, "harness.runner",
-                     "workload must name between 1 and kMaxApps applications")
-                .detail("workload", workload.label())
-                .detail("num_apps", n)
-                .detail("kMaxApps", kMaxApps));
-
-  std::vector<AppLaunch> launches;
-  launches.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    launches.push_back(
-        AppLaunch{workload.apps[i], app_seed(rc_.base_seed, i)});
-  }
-
-  Simulation sim(rc_.gpu, std::move(launches));
-  sim.set_watchdog(rc_.watchdog_cycles);
-  apply_limits(rc_, sim, /*co_run=*/true);
-  if (rc_.profiler != nullptr) sim.set_loop_profiler(rc_.profiler);
+  CoRunAssembly assembly =
+      assemble_corun(rc_, workload, models, policy, sm_split);
+  Simulation& sim = *assembly.sim;
   Gpu& gpu = sim.gpu();
-
-  FaultInjector injector(rc_.faults);
-  if (rc_.faults.any()) gpu.set_fault_injector(&injector);
-
-  // Partition the SMs.
-  if (sm_split != nullptr) {
-    SIM_CHECK(static_cast<int>(sm_split->size()) == n,
-              SimError(SimErrorKind::kHarness, "harness.runner",
-                       "sm_split must list one SM count per application")
-                  .detail("split_entries", sm_split->size())
-                  .detail("num_apps", n));
-    std::vector<AppId> assignment;
-    for (int i = 0; i < n; ++i) {
-      for (int k = 0; k < (*sm_split)[i]; ++k) {
-        assignment.push_back(i);
-      }
-    }
-    SIM_CHECK(static_cast<int>(assignment.size()) <= gpu.num_sms(),
-              SimError(SimErrorKind::kHarness, "harness.runner",
-                       "sm_split assigns more SMs than the GPU has")
-                  .detail("assigned", assignment.size())
-                  .detail("num_sms", gpu.num_sms()));
-    assignment.resize(gpu.num_sms(), kInvalidApp);
-    gpu.set_partition(assignment);
-  } else if (policy == PolicyKind::kLeftover) {
-    // Every registered kernel's grid occupies the full GPU, so the first
-    // application takes everything and the rest get the (empty) leftovers.
-    gpu.set_partition(LeftoverPolicy::allocation(
-        gpu.num_sms(), std::vector<int>(n, gpu.num_sms())));
-  } else if (policy == PolicyKind::kTemporal) {
-    gpu.set_partition(std::vector<AppId>(gpu.num_sms(), 0));
-  } else {
-    gpu.set_partition(even_partition(gpu.num_sms(), n));
-  }
-
-  // Attach models and (optionally) a scheduling policy.
-  const bool need_dase = models.dase || policy == PolicyKind::kDaseFair ||
-                         policy == PolicyKind::kDaseQos;
-  std::unique_ptr<DaseModel> dase;
-  std::unique_ptr<MiseModel> mise;
-  std::unique_ptr<AsmModel> asm_model;
-  std::unique_ptr<PriorityEpochDriver> epochs;
-  std::unique_ptr<DaseFairPolicy> fair;
-  std::unique_ptr<DaseQosPolicy> qos;
-  std::unique_ptr<TemporalPolicy> temporal;
-
-  if (need_dase) {
-    dase = std::make_unique<DaseModel>();
-    sim.add_observer(dase.get());
-  }
-  if (models.mise) {
-    mise = std::make_unique<MiseModel>();
-    sim.add_observer(mise.get());
-  }
-  if (models.asm_model) {
-    asm_model = std::make_unique<AsmModel>();
-    sim.add_observer(asm_model.get());
-  }
-  if (models.any_epoch_model()) {
-    epochs = std::make_unique<PriorityEpochDriver>(
-        PriorityEpochDriver::with_defaults(rc_.gpu, n));
-    sim.add_cycle_hook(epochs.get());
-  }
-  if (policy == PolicyKind::kDaseFair) {
-    fair = std::make_unique<DaseFairPolicy>(dase.get());
-    sim.add_observer(fair.get());
-  }
-  if (policy == PolicyKind::kDaseQos) {
-    qos = std::make_unique<DaseQosPolicy>(dase.get(), rc_.qos);
-    sim.add_observer(qos.get());
-  }
-  if (policy == PolicyKind::kTemporal) {
-    temporal = std::make_unique<TemporalPolicy>(rc_.temporal);
-    sim.add_cycle_hook(temporal.get());
-  }
+  DaseModel* dase = assembly.dase.get();
+  MiseModel* mise = assembly.mise.get();
+  AsmModel* asm_model = assembly.asm_model.get();
+  DaseFairPolicy* fair = assembly.fair.get();
+  DaseQosPolicy* qos = assembly.qos.get();
+  TemporalPolicy* temporal = assembly.temporal.get();
 
   // --- Co-run, with optional SimState checkpointing --------------------
   const bool snapshotting = rc_.snapshot_every > 0;
@@ -330,37 +397,57 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
     }
   }
 
-  if (!snapshotting) {
-    if (gpu.now() < rc_.co_run_cycles) sim.run(rc_.co_run_cycles - gpu.now());
-  } else {
-    try {
-      while (gpu.now() < rc_.co_run_cycles) {
-        const Cycle stride = std::min<Cycle>(rc_.snapshot_every,
-                                             rc_.co_run_cycles - gpu.now());
-        sim.run(stride);
-        // No snapshot after the final stride: the result is about to be
-        // reported and the resume point deleted anyway.
-        if (gpu.now() < rc_.co_run_cycles) {
+  try {
+    if (!snapshotting) {
+      if (gpu.now() < rc_.co_run_cycles) {
+        sim.run(rc_.co_run_cycles - gpu.now());
+      }
+    } else {
+      try {
+        while (gpu.now() < rc_.co_run_cycles) {
+          const Cycle stride = std::min<Cycle>(rc_.snapshot_every,
+                                               rc_.co_run_cycles - gpu.now());
+          sim.run(stride);
+          // No snapshot after the final stride: the result is about to be
+          // reported and the resume point deleted anyway.
+          if (gpu.now() < rc_.co_run_cycles) {
+            write_snapshot_file(snap_path, sim, fingerprint);
+          }
+        }
+      } catch (const SimError& e) {
+        // Graceful shutdown: a cancellation leaves the simulation intact at
+        // the interrupt cycle, so persist that exact state before
+        // propagating — the resumed run picks it up mid-stride and finishes
+        // byte-identically (snapshot timing never shapes simulated state).
+        if (e.kind() == SimErrorKind::kInterrupted) {
           write_snapshot_file(snap_path, sim, fingerprint);
         }
+        throw;
       }
-    } catch (const SimError& e) {
-      // Graceful shutdown: a cancellation leaves the simulation intact at
-      // the interrupt cycle, so persist that exact state before
-      // propagating — the resumed run picks it up mid-stride and finishes
-      // byte-identically (snapshot timing never shapes simulated state).
-      if (e.kind() == SimErrorKind::kInterrupted) {
-        write_snapshot_file(snap_path, sim, fingerprint);
-      }
-      throw;
+      std::error_code ec;
+      std::filesystem::remove(snap_path, ec);
     }
-    std::error_code ec;
-    std::filesystem::remove(snap_path, ec);
-  }
-  // Injected faults intentionally break conservation; the auditor is the
-  // mechanism tests use to detect them, so only a clean run self-audits.
-  if (rc_.verify_conservation && !rc_.faults.any()) {
-    gpu.verify_conservation();
+    // Injected faults intentionally break conservation; the auditor is the
+    // mechanism tests use to detect them, so only a clean run self-audits.
+    if (rc_.verify_conservation && !rc_.faults.any()) {
+      gpu.verify_conservation();
+    }
+  } catch (const SimError& e) {
+    // Crash forensics: every terminal error bundles the failure-point
+    // state before propagating.  kInterrupted is the one exception — a
+    // graceful drain is not a crash, and its state is already persisted
+    // by the auto-resume snapshot above.
+    if (!rc_.crash_bundle_dir.empty() &&
+        e.kind() != SimErrorKind::kInterrupted) {
+      const TriageContext ctx =
+          triage_context_of(rc_, workload, models, policy, sm_split, sim);
+      std::error_code ec;
+      const bool have_anchor =
+          !snap_path.empty() && std::filesystem::exists(snap_path, ec);
+      write_crash_bundle(rc_.crash_bundle_dir, sim, rc_.gpu, e, ctx,
+                         have_anchor ? snap_path : std::string());
+    }
+    throw;
   }
 
   CoRunResult result;

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +21,13 @@
 #include "sched/policies.hpp"
 
 namespace gpusim {
+
+class Simulation;
+class DaseModel;
+class MiseModel;
+class AsmModel;
+class PriorityEpochDriver;
+class DaseFairPolicy;
 
 struct RunConfig {
   GpuConfig gpu;
@@ -102,6 +110,18 @@ struct RunConfig {
   /// next sampling point; with snapshotting enabled, a snapshot is written
   /// first so a resumed run continues byte-identically.
   const std::atomic<bool>* cancel = nullptr;
+
+  // ---- Crash forensics (see harness/crash_bundle.hpp) -------------------
+  /// When non-empty, any terminal SimError escaping the co-run — watchdog
+  /// stall, conservation failure, budget/deadline kill, guard trip —
+  /// emits a self-contained crash-bundle directory under this root before
+  /// the error propagates.  Graceful cancellation (kInterrupted) never
+  /// bundles: the auto-resume snapshot already preserves that state.
+  /// Empty (off) by default in the library; the CLI defaults it on.
+  std::string crash_bundle_dir;
+  /// Mode tag recorded in bundle manifests ("run", "sweep", "chaos",
+  /// "jobs") so a triage session knows which path assembled the failure.
+  std::string crash_bundle_mode = "run";
 };
 
 struct ModelSet {
@@ -118,6 +138,65 @@ enum class PolicyKind {
   kTemporal,  ///< conventional temporal multitasking (full-GPU turns)
   kDaseQos,   ///< future-work QoS controller on top of DASE
 };
+
+/// CLI/manifest spelling of a policy ("even", "dase-fair", ...).
+const char* to_string(PolicyKind policy);
+/// Inverse of to_string(PolicyKind); throws SimError(kConfig) on an
+/// unknown name.  Used by the CLI and by --triage manifest loading.
+PolicyKind parse_policy_kind(const std::string& name);
+
+/// Everything about the *harness* side of an experiment that a snapshot is
+/// only valid against: the run length and seed plus the attached models,
+/// policy, SM split and armed fault schedule (which all shape the observer
+/// list and partition).  Mixed into the snapshot-file fingerprint alongside
+/// config + workload; --triage recomputes it from a bundle manifest.
+u64 harness_context_of(const RunConfig& rc, const ModelSet& models,
+                       PolicyKind policy, const std::vector<int>* sm_split);
+
+/// One fully assembled co-run: the Simulation plus owning pointers for
+/// every attached model, policy and the fault injector.  Move-only; the
+/// observers hold raw pointers into the Simulation (and into each other —
+/// DASE-Fair reads the DASE model), so the assembly must outlive any use
+/// of `sim`.  Members are null when the corresponding model/policy is not
+/// part of the requested ModelSet/PolicyKind.
+struct CoRunAssembly {
+  CoRunAssembly();
+  CoRunAssembly(CoRunAssembly&&) noexcept;
+  CoRunAssembly& operator=(CoRunAssembly&&) noexcept;
+  ~CoRunAssembly();
+
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<FaultInjector> injector;  ///< attached iff rc.faults.any()
+  std::unique_ptr<DaseModel> dase;
+  std::unique_ptr<MiseModel> mise;
+  std::unique_ptr<AsmModel> asm_model;
+  std::unique_ptr<PriorityEpochDriver> epochs;
+  std::unique_ptr<DaseFairPolicy> fair;
+  std::unique_ptr<DaseQosPolicy> qos;
+  std::unique_ptr<TemporalPolicy> temporal;
+};
+
+struct TriageContext;
+
+/// Fills a crash-bundle TriageContext from the same inputs assemble_corun
+/// took, computing the snapshot fingerprint from the live simulation.  The
+/// mode tag is taken from rc.crash_bundle_mode.
+TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
+                                const ModelSet& models, PolicyKind policy,
+                                const std::vector<int>* sm_split,
+                                const Simulation& sim);
+
+/// Builds the co-run simulation exactly as ExperimentRunner::run does:
+/// app launches seeded with harness_app_seed, watchdog and run limits from
+/// `rc`, the fault injector when a schedule is armed, the SM partition for
+/// the policy/split, and the model/policy observers in canonical
+/// registration order (dase, mise, asm, epochs, fair, qos, temporal — the
+/// order Simulation::load expects back).  Shared by the runner, the chaos
+/// engine and --triage so a restored snapshot always meets an identically
+/// assembled experiment.
+CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
+                             const ModelSet& models, PolicyKind policy,
+                             const std::vector<int>* sm_split = nullptr);
 
 struct AppResult {
   std::string abbr;

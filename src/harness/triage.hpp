@@ -1,0 +1,28 @@
+// Self-triage replay for crash bundles (`gpusim_cli --triage <dir>`).
+//
+// A triage session reloads the bundle's effective config and harness
+// context, reassembles the co-run through the exact same assemble_corun()
+// path the original run used, restores the bundled state, re-executes to
+// the recorded failure cycle when an anchor snapshot allows it, and then
+// checks the 64-bit state hash against the one recorded at crash time —
+// a bit-exact proof that the bundle reproduces the failure.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace gpusim {
+
+/// Runs the triage flow against `bundle_dir`, printing a human-readable
+/// report (manifest summary, replay outcome, the final flight-recorder
+/// timeline) to `out`.  Never throws.
+///
+/// Exit codes:
+///   0 — state hash reproduced exactly
+///   3 — the bundle could not be triaged (corrupt/incomplete bundle,
+///       unknown apps, config/fingerprint mismatch, I/O failure)
+///   4 — replay completed but the final state hash diverged from the
+///       recorded one (non-deterministic failure or build drift)
+int run_triage(const std::string& bundle_dir, std::ostream& out);
+
+}  // namespace gpusim

@@ -30,7 +30,13 @@ MemoryPartition::MemoryPartition(const GpuConfig& cfg, int num_apps,
 
 void MemoryPartition::push_response(MemResponsePacket resp, Cycle now) {
   if (taps_ != nullptr) taps_->responses_enqueued.add(resp.app);
-  if (resp_queue_.try_push(resp)) return;
+  if (resp_queue_.try_push(resp)) {
+    if (recorder_ != nullptr) {
+      recorder_->note_resp_occupancy(now, id_, resp_queue_.size(),
+                                     resp_queue_.capacity());
+    }
+    return;
+  }
   // Response queue saturated: defer instead of dropping.  The deferred
   // FIFO drains into the response queue ahead of new traffic, preserving
   // order among fills; a hard cap bounds pathological wedges.
@@ -43,6 +49,9 @@ void MemoryPartition::push_response(MemResponsePacket resp, Cycle now) {
                 .detail("resp_queue_capacity", resp_queue_.capacity())
                 .detail("deferred", deferred_resps_.size()));
   deferred_resps_.push_back(resp);
+  if (recorder_ != nullptr) {
+    recorder_->note_deferred_backlog(now, id_, deferred_resps_.size());
+  }
 }
 
 void MemoryPartition::cycle(Cycle now,
@@ -65,6 +74,10 @@ void MemoryPartition::cycle(Cycle now,
     const u64 fill_line = injector_ != nullptr
                               ? injector_->corrupt_fill_line(done.line_addr)
                               : done.line_addr;
+    if (recorder_ != nullptr && fill_line != done.line_addr) {
+      recorder_->record(now, FrEvent::kFaultCorrupt, id_, done.app,
+                        done.line_addr, fill_line);
+    }
     l2_.fill(fill_line, done.app);
     for (const MshrWaiter& w : mshr_.release(fill_line)) {
       MemResponsePacket resp;
@@ -87,6 +100,10 @@ void MemoryPartition::cycle(Cycle now,
                                "response queue overflow after full() check")
                           .cycle(now)
                           .detail("partition", id_));
+    if (recorder_ != nullptr) {
+      recorder_->note_resp_occupancy(now, id_, resp_queue_.size(),
+                                     resp_queue_.capacity());
+    }
     pending_hits_.pop_front();
   }
 
@@ -104,7 +121,13 @@ void MemoryPartition::cycle(Cycle now,
     if (injector_ != nullptr && injector_->should_drop_request()) {
       // Injected fault: the packet vanishes without being processed, as a
       // real routing bug would make it.  The conservation taps are *not*
-      // told — the auditor must discover the leak on its own.
+      // told — the auditor must discover the leak on its own.  The flight
+      // recorder *is*: it records what actually happened, exactly the
+      // information a postmortem needs to explain the auditor's imbalance.
+      if (recorder_ != nullptr) {
+        recorder_->record(now, FrEvent::kFaultDropReq, id_,
+                          in_queue.front().app, in_queue.front().line_addr, 0);
+      }
       in_queue.pop();
       continue;
     }

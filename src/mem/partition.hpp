@@ -17,6 +17,7 @@
 #include "common/bounded_queue.hpp"
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "mem/address_map.hpp"
@@ -80,6 +81,10 @@ class MemoryPartition {
   /// SimGuard wiring (both optional; owned by the Gpu).
   void set_taps(ConservationTaps* taps) { taps_ = taps; }
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Optional black-box flight recorder (owned by the Gpu): queue
+  /// high-water marks and injected-fault firings are recorded into it.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   /// Adds every response this partition still owes (MSHR waiters, pending
   /// hits, deferred and queued responses) to the per-app tally.
@@ -212,6 +217,7 @@ class MemoryPartition {
   PartitionCounters counters_;
   ConservationTaps* taps_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -63,11 +63,17 @@ class CrossbarChannel {
   /// order, round-robin pointer updates and all queue mutations are
   /// identical to the historical full scan; the mask fast path only skips
   /// probes that could not have accepted anything.
-  u64 transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
+  ///
+  /// When `blocked_out` is non-null it receives a bitmask of source ports
+  /// (bits s < 64 only) whose head packet was ready this cycle but was not
+  /// accepted — head-of-line blocking or destination back-pressure.  On the
+  /// masked path this is the leftover `ready` mask and costs nothing extra.
+  u64 transfer(Cycle now, std::vector<BoundedQueue<Packet>*>& sources,
+               u64* blocked_out = nullptr) {
     const int num_sources = static_cast<int>(sources.size());
     SIM_INVARIANT(num_sources == static_cast<int>(source_sent_.size()),
                   "noc.crossbar", "source port count changed after wiring");
-    if (num_sources > 64) return transfer_scan(now, sources);
+    if (num_sources > 64) return transfer_scan(now, sources, blocked_out);
 
     // One packet per source per cycle: a set bit means "head packet is
     // ready and this source has not injected yet", so clearing the bit on
@@ -77,7 +83,10 @@ class CrossbarChannel {
       const BoundedQueue<Packet>& sq = *sources[s];
       if (!sq.empty() && sq.front().ready <= now) ready |= u64{1} << s;
     }
-    if (ready == 0) return 0;  // idle interconnect: skip the full scan
+    if (ready == 0) {
+      if (blocked_out != nullptr) *blocked_out = 0;
+      return 0;  // idle interconnect: skip the full scan
+    }
 
     u64 accepted_dests = 0;
     for (int d = 0; d < static_cast<int>(dest_queues_.size()); ++d) {
@@ -108,6 +117,9 @@ class CrossbarChannel {
         if (d < 64) accepted_dests |= u64{1} << d;
       }
     }
+    // Bits still set in `ready` are exactly the sources whose head packet
+    // was injectable this cycle but went unaccepted.
+    if (blocked_out != nullptr) *blocked_out = ready;
     return accepted_dests;
   }
 
@@ -144,7 +156,8 @@ class CrossbarChannel {
  private:
   // Historical full round-robin scan, kept for channels wider than the
   // 64-source bitmask.  Same arbitration semantics as the masked path.
-  u64 transfer_scan(Cycle now, std::vector<BoundedQueue<Packet>*>& sources) {
+  u64 transfer_scan(Cycle now, std::vector<BoundedQueue<Packet>*>& sources,
+                    u64* blocked_out) {
     const int num_sources = static_cast<int>(sources.size());
     std::fill(source_sent_.begin(), source_sent_.end(), 0);
     u64 accepted_dests = 0;
@@ -173,6 +186,17 @@ class CrossbarChannel {
         rr_[d] = (s + 1) % num_sources;
         if (d < 64) accepted_dests |= u64{1} << d;
       }
+    }
+    if (blocked_out != nullptr) {
+      // One extra pass (this path is already the slow one): ready-but-unsent
+      // sources, capped to the mask's 64 bits.
+      u64 blocked = 0;
+      for (int s = 0; s < num_sources && s < 64; ++s) {
+        if (source_sent_[s]) continue;
+        const BoundedQueue<Packet>& sq = *sources[s];
+        if (!sq.empty() && sq.front().ready <= now) blocked |= u64{1} << s;
+      }
+      *blocked_out = blocked;
     }
     return accepted_dests;
   }

@@ -18,7 +18,7 @@ SmCore::SmCore(const GpuConfig& cfg, SmId id, const AddressMap& address_map)
   blocks_.resize(cfg.max_blocks_per_sm);
 }
 
-void SmCore::assign(BlockSource* source) {
+void SmCore::assign(BlockSource* source, Cycle now) {
   SIM_INVARIANT(source != nullptr, "sm.core", "assign() with null source");
   SIM_CHECK(source_ == nullptr,
             SimError(SimErrorKind::kInvariant, "sm.core",
@@ -27,7 +27,7 @@ void SmCore::assign(BlockSource* source) {
                 .detail("sm", id_));
   source_ = source;
   draining_ = false;
-  refill_blocks();
+  refill_blocks(now);
 }
 
 bool SmCore::drained() const {
@@ -97,7 +97,7 @@ int SmCore::live_warps() const {
   return n;
 }
 
-void SmCore::refill_blocks() {
+void SmCore::refill_blocks(Cycle now) {
   if (source_ == nullptr || draining_) return;
   const int limit = max_concurrent_blocks();
   if (active_blocks() >= limit) return;
@@ -124,6 +124,10 @@ void SmCore::refill_blocks() {
     blocks_[slot].active = true;
     blocks_[slot].block_index = *block;
     blocks_[slot].warps_remaining = profile.warps_per_block;
+    if (recorder_ != nullptr) {
+      recorder_->record(now, FrEvent::kBlockDispatch, id_, source_->app(),
+                        *block, 0);
+    }
     blocks_[slot].stream = AddressStream::make_block_stream(
         profile, source_->app_seed(), *block);
     for (int i = 0; i < profile.warps_per_block; ++i) {
@@ -157,7 +161,7 @@ void SmCore::cycle(Cycle now) {
   issue(now);
 
   // 4. Keep block slots occupied.
-  refill_blocks();
+  refill_blocks(now);
 }
 
 void SmCore::dispatch_pending(Cycle now) {
@@ -220,6 +224,12 @@ void SmCore::check_retries(Cycle now) {
   if (!cfg_.mshr_retry_enabled || next_retry_deadline_ > now) return;
   for (auto& [line, rs] : retries_) {
     if (rs.deadline > now) continue;
+    if (rs.attempts >= cfg_.mshr_retry_max && recorder_ != nullptr) {
+      // Recorded before the throw so the crash bundle's timeline ends with
+      // the event that killed the run.
+      recorder_->record(now, FrEvent::kMshrExhausted, id_, app(), line,
+                        static_cast<u64>(rs.attempts));
+    }
     SIM_CHECK(rs.attempts < cfg_.mshr_retry_max,
               SimError(SimErrorKind::kRecoveryExhausted, "sm.core",
                        "miss response never arrived: reissue budget spent")
@@ -248,6 +258,10 @@ void SmCore::check_retries(Cycle now) {
     ++rs.attempts;
     // Exponential backoff: timeout doubles with each reissue.
     rs.deadline = now + (cfg_.mshr_retry_timeout << rs.attempts);
+    if (recorder_ != nullptr) {
+      recorder_->record(now, FrEvent::kMshrRetry, id_, pkt.app, line,
+                        static_cast<u64>(rs.attempts));
+    }
   }
   recompute_next_retry_deadline();
 }
@@ -362,7 +376,20 @@ void SmCore::load(StateReader& r, BlockSource* source) {
   r.expect_tag("SMCR");
   draining_ = r.get_bool();
   last_issued_ = r.get_i32();
+  SIM_CHECK(last_issued_ >= -1 &&
+                last_issued_ < static_cast<int>(warps_.size()),
+            SimError(SimErrorKind::kSnapshot, "sm.core",
+                     "corrupt last-issued warp index in snapshot")
+                .detail("sm", id_)
+                .detail("last_issued", last_issued_)
+                .detail("warp_contexts", warps_.size()));
   ready_warps_ = r.get_i32();
+  SIM_CHECK(ready_warps_ >= 0 &&
+                ready_warps_ <= static_cast<int>(warps_.size()),
+            SimError(SimErrorKind::kSnapshot, "sm.core",
+                     "corrupt ready-warp count in snapshot")
+                .detail("sm", id_)
+                .detail("ready_warps", ready_warps_));
   for (BlockSlot& b : blocks_) {
     b.active = r.get_bool();
     b.block_index = r.get_u64();
@@ -384,6 +411,17 @@ void SmCore::load(StateReader& r, BlockSource* source) {
     w.compute_remaining = r.get_u64();
     w.outstanding = r.get_i32();
     w.block_slot = r.get_i32();
+    // A live or retiring warp's block slot is dereferenced on the next
+    // retire; a corrupt index must die here as a typed error, not as an
+    // out-of-bounds store later.
+    SIM_CHECK(w.state == WarpCtx::State::kUnused ||
+                  (w.block_slot >= -1 &&
+                   w.block_slot < static_cast<int>(blocks_.size())),
+              SimError(SimErrorKind::kSnapshot, "sm.core",
+                       "corrupt warp block-slot index in snapshot")
+                  .detail("sm", id_)
+                  .detail("block_slot", w.block_slot)
+                  .detail("block_slots", blocks_.size()));
     if (r.get_bool()) {
       // Reconstruct the stream against the freshly restored block cursor,
       // then overwrite its RNG with the saved engine state (warp_in_block
@@ -400,11 +438,21 @@ void SmCore::load(StateReader& r, BlockSource* source) {
       w.stream->load(r);
     }
   }
+  const auto check_warp_index = [this](WarpId warp, const char* what) {
+    SIM_CHECK(warp >= 0 && warp < static_cast<WarpId>(warps_.size()),
+              SimError(SimErrorKind::kSnapshot, "sm.core",
+                       "corrupt warp index in snapshot")
+                  .detail("sm", id_)
+                  .detail("what", what)
+                  .detail("warp", warp)
+                  .detail("warp_contexts", warps_.size()));
+  };
   pending_txns_.clear();
   const u64 txns = r.get_count(1u << 20, "sm pending txns");
   for (u64 i = 0; i < txns; ++i) {
     PendingTxn t{};
     t.warp = r.get_i32();
+    check_warp_index(t.warp, "pending txn");
     t.addr = r.get_u64();
     pending_txns_.push_back(t);
   }
@@ -413,6 +461,7 @@ void SmCore::load(StateReader& r, BlockSource* source) {
   for (u64 i = 0; i < hits; ++i) {
     const Cycle ready = r.get_u64();
     const WarpId warp = r.get_i32();
+    check_warp_index(warp, "local hit");
     local_hits_.emplace_back(ready, warp);
   }
   l1_.load(r);
@@ -427,6 +476,13 @@ void SmCore::load(StateReader& r, BlockSource* source) {
     read_item(r, rs.pkt);
     rs.deadline = r.get_u64();
     rs.attempts = r.get_i32();
+    // attempts is a left-shift exponent in check_retries(); a corrupt value
+    // would be undefined behaviour, not just a wrong backoff.
+    SIM_CHECK(rs.attempts >= 0 && rs.attempts <= 62,
+              SimError(SimErrorKind::kSnapshot, "sm.core",
+                       "corrupt retry attempt count in snapshot")
+                  .detail("sm", id_)
+                  .detail("attempts", rs.attempts));
     retries_[line] = rs;
   }
   dup_expect_.clear();

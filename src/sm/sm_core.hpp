@@ -22,6 +22,7 @@
 #include "common/audit.hpp"
 #include "common/bounded_queue.hpp"
 #include "common/config.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/sim_error.hpp"
 #include "common/stats.hpp"
 #include "kernels/address_stream.hpp"
@@ -79,8 +80,9 @@ class SmCore {
   SmCore(const GpuConfig& cfg, SmId id, const AddressMap& address_map);
 
   /// Assigns this SM to an application.  The SM must be unassigned or
-  /// fully drained.
-  void assign(BlockSource* source);
+  /// fully drained.  `now` stamps the initial block-dispatch events
+  /// (construction-time assignment happens at cycle 0).
+  void assign(BlockSource* source, Cycle now = 0);
 
   /// Stops fetching new thread blocks; resident work runs to completion
   /// (the paper's "SM draining" migration primitive).
@@ -116,6 +118,10 @@ class SmCore {
   /// Optional SimGuard conservation taps (owned by the GPU): every packet
   /// pushed into the out queue is counted as a sent request.
   void set_taps(ConservationTaps* taps) { taps_ = taps; }
+
+  /// Optional black-box flight recorder (owned by the GPU): block
+  /// dispatches and MSHR retry/exhaustion events are recorded into it.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   /// Warps currently blocked on outstanding memory transactions.
   int waiting_warps() const {
@@ -312,7 +318,7 @@ class SmCore {
     AppId app = kInvalidApp;
   };
 
-  void refill_blocks();
+  void refill_blocks(Cycle now);
   void dispatch_pending(Cycle now);
   void issue(Cycle now);
   void complete_txn(WarpId warp);
@@ -344,6 +350,7 @@ class SmCore {
   SmCounters counters_;
   PerAppCounter* instr_sink_ = nullptr;
   ConservationTaps* taps_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 
   // Modeled recovery state (empty unless cfg_.mshr_retry_enabled).
   std::map<u64, RetryState> retries_;    // keyed by line address

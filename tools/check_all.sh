@@ -36,24 +36,26 @@ step() {
   return "$rc"
 }
 
-step "[1/7] tier-1: configure + build" bash -c \
+step "[1/8] tier-1: configure + build" bash -c \
   "cmake -B build -S . && cmake --build build -j '$JOBS'"
-step "[1/7] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
+step "[1/8] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
 
-step "[2/7] determinism audit" tools/check_determinism.sh build
+step "[2/8] determinism audit" tools/check_determinism.sh build
 
-step "[3/7] chaos campaign" tools/check_chaos.sh build
+step "[3/8] chaos campaign" tools/check_chaos.sh build
 
-step "[4/7] job batches: kill, resume, exit codes" tools/check_jobs.sh build
+step "[4/8] job batches: kill, resume, exit codes" tools/check_jobs.sh build
 
-step "[5/7] ASan + UBSan" tools/check_sanitize.sh
+step "[5/8] crash forensics: bundle + triage" tools/check_triage.sh build
 
-step "[6/7] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
+step "[6/8] ASan + UBSan" tools/check_sanitize.sh
+
+step "[7/8] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
 
 if [[ "$SKIP_PERF" == "1" ]]; then
-  echo "===== [7/7] perf gate: SKIPPED ====="
+  echo "===== [8/8] perf gate: SKIPPED ====="
 else
-  step "[7/7] perf gate" tools/check_perf.sh build
+  step "[8/8] perf gate" tools/check_perf.sh build
 fi
 
 echo "check_all: OK"

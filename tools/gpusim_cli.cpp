@@ -14,6 +14,8 @@
 //   gpusim_cli --apps SD,SA --cycles 40000 --fault-schedule 'drop-resp:nth=200;seed=7'
 //   gpusim_cli --job-file batch.jobs --manifest batch.manifest.jsonl
 //   gpusim_cli --jobs-resume batch.manifest.jsonl
+//   gpusim_cli --triage crash-bundles/run-SD+SA-c12345
+//   gpusim_cli --version
 //   gpusim_cli --list-apps
 //   gpusim_cli --dump-config > gtx480.cfg ; gpusim_cli --config gtx480.cfg ...
 //
@@ -33,11 +35,13 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/config_io.hpp"
 #include "common/fault_injection.hpp"
 #include "common/sim_error.hpp"
 #include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
+#include "gpu/snapshot.hpp"
 #include "harness/chaos.hpp"
 #include "harness/cli_flags.hpp"
 #include "harness/divergence.hpp"
@@ -46,6 +50,7 @@
 #include "harness/shutdown.hpp"
 #include "harness/sweep.hpp"
 #include "harness/table_printer.hpp"
+#include "harness/triage.hpp"
 #include "kernels/app_registry.hpp"
 
 namespace {
@@ -200,7 +205,7 @@ int run_sweep(const std::string& which, const RunConfig& rc,
 
 int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
               bool recovery, bool minimize, const std::string& checkpoint,
-              const std::string& out_path) {
+              const std::string& bundle_dir, const std::string& out_path) {
   ChaosOptions opts;
   opts.gpu = rc.gpu;
   opts.schedules = schedules;
@@ -212,6 +217,7 @@ int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
   opts.checkpoint_path = checkpoint;
   opts.base_seed = rc.base_seed;
   opts.cancel = shutdown_flag();
+  opts.crash_bundle_dir = bundle_dir;
   const ChaosReport report = run_chaos_campaign(opts);
   if (shutdown_requested()) {
     std::cerr << "gpusim: chaos campaign interrupted — finished schedules "
@@ -255,6 +261,7 @@ int run_replay(const RunConfig& rc, const Workload& workload,
   opts.cycles = rc.co_run_cycles;
   opts.recovery = recovery;
   opts.base_seed = rc.base_seed;
+  opts.crash_bundle_dir = rc.crash_bundle_dir;
   const FaultSchedule schedule = FaultSchedule::parse(spec);
   const ChaosJobResult r = run_chaos_job(
       opts, workload, policy == PolicyKind::kDaseFair, schedule);
@@ -394,6 +401,10 @@ int main(int argc, char** argv) {
   int job_max_retries = 2;
   int quarantine_after = 3;
   bool have_backoff = false;
+  std::string bundle_dir = "crash-bundles";
+  bool have_bundle_dir = false;
+  bool no_bundle = false;
+  std::string triage_bundle;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -565,8 +576,21 @@ int main(int argc, char** argv) {
           usage(argv[0], e.what());
         }
         break;
+      case FlagId::kBundleDir:
+        bundle_dir = value;
+        have_bundle_dir = true;
+        break;
+      case FlagId::kNoBundle:
+        no_bundle = true;
+        break;
+      case FlagId::kTriage:
+        triage_bundle = value;
+        break;
       case FlagId::kDumpConfig:
         write_config(std::cout, GpuConfig{});
+        return 0;
+      case FlagId::kVersion:
+        std::cout << build_fingerprint_line(kSnapshotVersion) << '\n';
         return 0;
       case FlagId::kListApps: {
         TablePrinter table({"abbr", "name", "Table3 BW", "warps/blk",
@@ -589,6 +613,17 @@ int main(int argc, char** argv) {
   }
 
   const bool jobs_mode = !job_file.empty() || !jobs_resume.empty();
+  if (!triage_bundle.empty() &&
+      (jobs_mode || !app_names.empty() || !sweep_which.empty() ||
+       chaos_schedules > 0 || audit_determinism || !fault_spec.empty() ||
+       !rc.restore_path.empty() || rc.snapshot_every != 0)) {
+    usage(argv[0],
+          "--triage is a standalone postmortem mode; it takes no workload "
+          "or batch flags");
+  }
+  if (no_bundle && have_bundle_dir) {
+    usage(argv[0], "--no-bundle and --bundle-dir are mutually exclusive");
+  }
   if (have_snapshot_dir && rc.snapshot_every == 0) {
     usage(argv[0], "--snapshot-dir requires --snapshot-every");
   }
@@ -644,6 +679,12 @@ int main(int argc, char** argv) {
           "binary for profiled batch scenarios)");
   }
 
+  // Crash forensics: runs, sweeps, --fault-schedule replays and job
+  // batches bundle any terminal SimError under bundle_dir by default
+  // (--no-bundle opts out).  Chaos campaigns *expect* failures, so they
+  // bundle only when --bundle-dir was given explicitly.
+  if (!no_bundle) rc.crash_bundle_dir = bundle_dir;
+
   // Wire the drain flag and the run limits into every mode.
   rc.cancel = shutdown_flag();
   sweep_opts.cancel = shutdown_flag();
@@ -654,6 +695,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!triage_bundle.empty()) {
+      return run_triage(triage_bundle, std::cout);
+    }
     if (jobs_mode) {
       JobManagerOptions jm;
       jm.gpu = rc.gpu;
@@ -673,6 +717,7 @@ int main(int argc, char** argv) {
       if (rc.snapshot_every != 0) jm.snapshot_every = rc.snapshot_every;
       jm.cancel = shutdown_flag();
       jm.verbose = true;
+      jm.crash_bundle_dir = rc.crash_bundle_dir;
       return run_jobs(jm, job_file,
                       have_out ? out_path : "jobs_report.json");
     }
@@ -681,6 +726,8 @@ int main(int argc, char** argv) {
       return run_chaos(rc, chaos_schedules, chaos_seed, sweep_opts.jobs,
                        chaos_recovery, chaos_minimize,
                        sweep_opts.checkpoint_path,
+                       have_bundle_dir && !no_bundle ? bundle_dir
+                                                     : std::string(),
                        have_out ? out_path : "chaos_report.json");
     }
     if (!sweep_which.empty()) {
@@ -689,6 +736,7 @@ int main(int argc, char** argv) {
       }
       // Sweeps use the cached alone IPC like the bench binaries do.
       rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
+      rc.crash_bundle_mode = "sweep";
       return run_sweep(sweep_which, rc, models, sweep_opts, out_path,
                        argv[0]);
     }
