@@ -1,6 +1,8 @@
 // Simulator-throughput baseline: measures raw cycles/sec of the
 // cycle loop (fast-forward on and off), a memory-contended co-run with
 // the activity-tracked cycle engine on (loop profiler attached) and off,
+// a live DASE-Fair co-run with the policy governor on vs. off (the ≤2%
+// overhead contract from DESIGN.md §14),
 // and the wall-clock of a small checkpoint-free sweep run serially vs. on
 // the worker pool, then emits the numbers as a flat JSON object — the
 // repo's BENCH_*.json perf baseline format.  tools/check_perf.sh runs
@@ -31,6 +33,7 @@
 #include "bench_util.hpp"
 #include "common/loop_profiler.hpp"
 #include "gpu/simulator.hpp"
+#include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/app_registry.hpp"
 #include "kernels/workload_sets.hpp"
@@ -108,6 +111,61 @@ LoopResult time_contended_loop(const GpuConfig& cfg, Cycle cycles,
   return r;
 }
 
+struct GovernedResult {
+  double on_cycles_per_sec = 0.0;
+  double off_cycles_per_sec = 0.0;
+  double overhead_ratio = 0.0;
+};
+
+/// Governor on/off throughput and the overhead ratio for the <=2% gate
+/// (check_perf.sh, floor 0.98).  Both runs carry the full closed loop
+/// (estimator, search, migrations); the only difference is whether
+/// proposals route through the governor's validation/watchdog path.
+/// Wall-clock noise on shared hosts dwarfs the governor's per-interval
+/// work, so a pass advances a governed and an unguarded sim in
+/// alternating timed slices — host-load spikes then land on both sides
+/// roughly equally instead of skewing whichever whole run they hit — and
+/// the gate takes the best of three passes.
+GovernedResult time_governed_loop(Cycle cycles) {
+  Workload w;
+  w.apps.push_back(*find_app("VA"));
+  w.apps.push_back(*find_app("SD"));
+  const ModelSet models{.dase = true};
+
+  GovernedResult r;
+  const Cycle slice = std::max<Cycle>(1, cycles / 10);
+  for (int pass = 0; pass < 3; ++pass) {
+    RunConfig rc_on;
+    rc_on.governor = true;
+    RunConfig rc_off;
+    rc_off.governor = false;
+    CoRunAssembly on = assemble_corun(rc_on, w, models, PolicyKind::kDaseFair);
+    CoRunAssembly off =
+        assemble_corun(rc_off, w, models, PolicyKind::kDaseFair);
+    on.sim->run(20'000);  // warm the pipelines so timing sees steady state
+    off.sim->run(20'000);
+
+    double on_elapsed = 0.0;
+    double off_elapsed = 0.0;
+    for (Cycle done = 0; done < cycles; done += slice) {
+      const Cycle step = std::min(slice, cycles - done);
+      auto start = std::chrono::steady_clock::now();
+      on.sim->run(step);
+      on_elapsed += seconds_since(start);
+      start = std::chrono::steady_clock::now();
+      off.sim->run(step);
+      off_elapsed += seconds_since(start);
+    }
+    if (on_elapsed <= 0.0 || off_elapsed <= 0.0) continue;
+    const double on_cps = static_cast<double>(cycles) / on_elapsed;
+    const double off_cps = static_cast<double>(cycles) / off_elapsed;
+    r.on_cycles_per_sec = std::max(r.on_cycles_per_sec, on_cps);
+    r.off_cycles_per_sec = std::max(r.off_cycles_per_sec, off_cps);
+    r.overhead_ratio = std::max(r.overhead_ratio, on_cps / off_cps);
+  }
+  return r;
+}
+
 /// Wall-clock of a checkpoint-free sweep over the first `pairs` two-app
 /// workloads with the given worker count.
 double time_sweep(const RunConfig& rc, int pairs, int jobs) {
@@ -161,6 +219,8 @@ int main(int argc, char** argv) {
           ? contended.cycles_per_sec / contended_off.cycles_per_sec
           : 0.0;
 
+  const GovernedResult governed = time_governed_loop(loop_cycles);
+
   RunConfig rc;
   rc.co_run_cycles = cycles_from_env("BENCH_SWEEP_CYCLES", 60'000);
   rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
@@ -200,6 +260,12 @@ int main(int argc, char** argv) {
   std::fprintf(out, "%s", profiler.to_json_lines(true).c_str());
   std::fprintf(out, "\"profile_total_ns\": %llu,\n",
                static_cast<unsigned long long>(profiler.total_ns()));
+  std::fprintf(out, "\"governor_on_cycles_per_sec\": %.1f,\n",
+               governed.on_cycles_per_sec);
+  std::fprintf(out, "\"governor_off_cycles_per_sec\": %.1f,\n",
+               governed.off_cycles_per_sec);
+  std::fprintf(out, "\"governor_overhead_ratio\": %.4f,\n",
+               governed.overhead_ratio);
   std::fprintf(out, "\"sweep_pairs\": %d,\n", sweep_pairs);
   std::fprintf(out, "\"sweep_corun_cycles\": %llu,\n",
                static_cast<unsigned long long>(rc.co_run_cycles));
@@ -222,6 +288,11 @@ int main(int argc, char** argv) {
       "(%.1f%% fast-forwarded), %.0f without (%.2fx)\n",
       contended.cycles_per_sec, 100.0 * contended.fast_forwarded_fraction,
       contended_off.cycles_per_sec, contended_speedup);
+  std::printf(
+      "governed DASE-Fair VA+SD: %.0f cycles/sec with the governor, "
+      "%.0f without (best-pair ratio %.3f)\n",
+      governed.on_cycles_per_sec, governed.off_cycles_per_sec,
+      governed.overhead_ratio);
   if (parallel_meaningful) {
     std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
                 sweep_pairs, serial_s, parallel_s, sweep_jobs,

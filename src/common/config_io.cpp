@@ -108,6 +108,13 @@ const std::map<std::string, Field>& field_table() {
       {"mshr_retry_timeout", number_field(&GpuConfig::mshr_retry_timeout, "cycles before first reissue")},
       {"mshr_retry_max", number_field(&GpuConfig::mshr_retry_max, "reissues before recovery-exhausted")},
       {"flight_recorder_events", number_field(&GpuConfig::flight_recorder_events, "black-box event ring capacity (0 = off)")},
+      {"governor_drain_budget", number_field(&GpuConfig::governor_drain_budget, "drain-watchdog cycle budget (>= estimation_interval)")},
+      {"governor_max_delta", number_field(&GpuConfig::governor_max_delta, "max SMs reassigned per epoch")},
+      {"governor_starvation_window", number_field(&GpuConfig::governor_starvation_window, "epochs at the floor before the breaker trips")},
+      {"governor_thrash_window", number_field(&GpuConfig::governor_thrash_window, "flap-detection / freeze window, epochs")},
+      {"governor_breaker_trips", number_field(&GpuConfig::governor_breaker_trips, "trips before falling back to the even split")},
+      {"governor_jump_bound", number_field(&GpuConfig::governor_jump_bound, "max epoch-to-epoch estimate ratio")},
+      {"governor_force_preempt", bool_field(&GpuConfig::governor_force_preempt, "cancel stalled drains instead of raising")},
   };
   return table;
 }

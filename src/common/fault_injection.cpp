@@ -224,6 +224,19 @@ const ConfigCorruption kCorruptions[] = {
      [](GpuConfig& c) { c.flight_recorder_events = -1; }},
     {"flight_recorder_events=1<<21",
      [](GpuConfig& c) { c.flight_recorder_events = 1 << 21; }},
+    // Shorter than one estimation epoch.
+    {"governor_drain_budget<estimation_interval",
+     [](GpuConfig& c) { c.governor_drain_budget = c.estimation_interval - 1; }},
+    {"governor_max_delta=0", [](GpuConfig& c) { c.governor_max_delta = 0; }},
+    {"governor_starvation_window=0",
+     [](GpuConfig& c) { c.governor_starvation_window = 0; }},
+    // Flap detection needs at least A->B->A.
+    {"governor_thrash_window=1",
+     [](GpuConfig& c) { c.governor_thrash_window = 1; }},
+    {"governor_breaker_trips=0",
+     [](GpuConfig& c) { c.governor_breaker_trips = 0; }},
+    {"governor_jump_bound=1.0",
+     [](GpuConfig& c) { c.governor_jump_bound = 1.0; }},
 };
 
 }  // namespace

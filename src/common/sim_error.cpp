@@ -17,6 +17,7 @@ const char* to_string(SimErrorKind kind) {
     case SimErrorKind::kBudgetExceeded: return "budget-exceeded";
     case SimErrorKind::kQuarantined: return "quarantined";
     case SimErrorKind::kInterrupted: return "interrupted";
+    case SimErrorKind::kMigrationStalled: return "migration-stalled";
   }
   return "unknown";
 }

@@ -43,6 +43,7 @@ enum class SimErrorKind {
   kBudgetExceeded,     ///< cycle or memory-traffic budget exhausted
   kQuarantined,        ///< circuit breaker: config exceeded its failure limit
   kInterrupted,        ///< cooperative cancellation (SIGINT/SIGTERM drain)
+  kMigrationStalled,   ///< SM-drain migration exceeded the governor's budget
 };
 
 const char* to_string(SimErrorKind kind);

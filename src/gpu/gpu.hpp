@@ -69,6 +69,12 @@ class Gpu {
   void set_partition(const std::vector<AppId>& desired);
 
   std::vector<AppId> current_partition() const;
+  /// The most recently requested partition — what current_partition()
+  /// converges to once every pending drain completes.  All-kInvalidApp
+  /// until the first set_partition call.
+  const std::vector<AppId>& desired_partition() const {
+    return desired_partition_;
+  }
   bool migration_in_progress() const;
   int sms_assigned(AppId app) const;
 

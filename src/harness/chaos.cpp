@@ -231,6 +231,12 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
       1'000, std::min<Cycle>(cfg.mshr_retry_timeout, opts.cycles / 8));
   cfg.estimation_interval = std::max<Cycle>(
       2'000, std::min<Cycle>(cfg.estimation_interval, opts.cycles / 4));
+  // The drain budget must also shrink with the job budget, or a wedged
+  // migration would be caught by the generic watchdog before the governor
+  // can attribute it (kMigrationStalled names the stalled SMs).
+  cfg.governor_drain_budget = std::max<Cycle>(
+      cfg.estimation_interval,
+      std::min<Cycle>(cfg.governor_drain_budget, opts.cycles / 4));
 
   ChaosJobResult r;
   r.workload = workload.label();
@@ -245,6 +251,7 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
   rc.co_run_cycles = opts.cycles;
   rc.base_seed = opts.base_seed;
   rc.watchdog_cycles = std::max<Cycle>(5'000, opts.cycles / 4);
+  rc.governor = opts.governor;
   rc.faults = schedule;
   rc.cancel = opts.cancel;
   rc.wall_deadline = opts.wall_deadline;
@@ -292,6 +299,12 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
     if (e.kind() == SimErrorKind::kWatchdogStall) {
       r.outcome = ChaosOutcome::kHang;
       r.detail = "watchdog: " + first_line(e.what());
+    } else if (e.kind() == SimErrorKind::kMigrationStalled) {
+      // The governor's drain watchdog proved the wedge and named the
+      // stalled SMs — same class as a generic watchdog hang, better
+      // attributed.
+      r.outcome = ChaosOutcome::kHang;
+      r.detail = "governor: " + first_line(e.what());
     } else {
       r.outcome = ChaosOutcome::kGuardCaught;
       r.detail = std::string(e.component()) + ": " + first_line(e.what());

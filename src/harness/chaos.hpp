@@ -61,6 +61,11 @@ struct ChaosOptions {
   int jobs = 1;
   /// Arm the modeled MSHR timeout/retry recovery path in every job.
   bool recovery = true;
+  /// Attach the policy safety governor to every job (the production
+  /// default).  Campaigns tighten governor_drain_budget to a fraction of
+  /// `cycles` so a wedged drain is diagnosed as the typed
+  /// kMigrationStalled instead of the generic progress watchdog.
+  bool governor = true;
   /// Maximum events per random schedule.
   int max_events = 4;
   /// Delta-debug failing schedules down to minimal reproducers.

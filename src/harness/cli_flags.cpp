@@ -71,6 +71,13 @@ const std::vector<FlagInfo>& flag_table() {
       {FlagId::kNoActivitySched, "--no-activity-sched", nullptr,
        "disable the activity-tracked cycle engine (escape hatch /\n"
        "bisection aid; simulated output is bit-identical either way)"},
+      {FlagId::kGovernor, "--governor", nullptr,
+       "enable the policy safety governor (the default; last one of\n"
+       "--governor/--no-governor wins)"},
+      {FlagId::kNoGovernor, "--no-governor", nullptr,
+       "disable the policy safety governor: partition proposals reach\n"
+       "the GPU unguarded, exactly the pre-governor behavior (healthy\n"
+       "runs are byte-identical either way)"},
       {FlagId::kProfileLoop, "--profile-loop", nullptr,
        "attribute wall time and visit counts to the cycle-loop phases\n"
        "(SM advance, response delivery, crossbars, partitions,\n"

@@ -49,6 +49,8 @@ enum class FlagId {
   kAuditDeterminism,
   kHashEvery,
   kNoActivitySched,
+  kGovernor,
+  kNoGovernor,
   kProfileLoop,
   kChaos,
   kChaosSeed,

@@ -142,6 +142,7 @@ void write_manifest(std::ostream& os, const TriageContext& ctx,
   os << "  \"models\": \"" << models << "\",\n";
   os << "  \"faults\": \"" << escape_json(ctx.faults) << "\",\n";
   os << "  \"watchdog_cycles\": " << ctx.watchdog_cycles << ",\n";
+  os << "  \"governor\": \"" << (ctx.governor ? "on" : "off") << "\",\n";
   os << "  \"sm_split\": \"" << join_space_ints(ctx.sm_split) << "\",\n";
   os << "  \"fingerprint\": " << ctx.fingerprint << ",\n";
   os << "  \"failure_cycle\": " << failure_cycle << ",\n";
@@ -311,7 +312,7 @@ CrashBundleManifest read_crash_bundle_manifest(
       "schema",  "build_line", "mode",           "label",
       "apps",    "policy",     "models",         "faults",
       "sm_split", "error_kind", "error_component", "error_message",
-      "snapshot", "anchor",     "replay"};
+      "snapshot", "anchor",     "replay",         "governor"};
   static const char* kNumberKeys[] = {
       "build_fingerprint", "base_seed",     "co_run_cycles",
       "watchdog_cycles",   "fingerprint",   "failure_cycle",
@@ -398,6 +399,11 @@ CrashBundleManifest read_crash_bundle_manifest(
   }
   get_string("faults", &m.ctx.faults);
   m.ctx.watchdog_cycles = require_u64("watchdog_cycles");
+  // Optional for backward compatibility: bundles written before the policy
+  // governor existed replay with it enabled (the current default).
+  std::string governor = "on";
+  get_string("governor", &governor);
+  m.ctx.governor = (governor != "off");
   for (const std::string& tok : split_space(require_string("sm_split"))) {
     char* end = nullptr;
     const long v = std::strtol(tok.c_str(), &end, 10);

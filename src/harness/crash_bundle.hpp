@@ -49,6 +49,7 @@ struct TriageContext {
   bool asm_model = false;
   std::string faults;  ///< FaultSchedule::to_string(), "" when none armed
   Cycle watchdog_cycles = 0;
+  bool governor = true;  ///< policy safety governor enabled (--no-governor)
   std::vector<int> sm_split;  ///< empty = policy-controlled partition
   u64 fingerprint = 0;        ///< simulation_fingerprint(sim, harness ctx)
 };

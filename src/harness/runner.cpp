@@ -18,6 +18,7 @@
 #include "harness/crash_bundle.hpp"
 #include "metrics/metrics.hpp"
 #include "sched/dase_fair.hpp"
+#include "sched/governor.hpp"
 #include "sched/policies.hpp"
 
 namespace gpusim {
@@ -131,6 +132,7 @@ TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
   ctx.asm_model = models.asm_model;
   ctx.faults = rc.faults.any() ? rc.faults.to_string() : std::string();
   ctx.watchdog_cycles = rc.watchdog_cycles;
+  ctx.governor = rc.governor;
   if (sm_split != nullptr) ctx.sm_split = *sm_split;
   ctx.fingerprint = simulation_fingerprint(
       sim, harness_context_of(rc, models, policy, sm_split));
@@ -236,6 +238,15 @@ CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
     a.temporal = std::make_unique<TemporalPolicy>(rc.temporal);
     sim.add_cycle_hook(a.temporal.get());
   }
+  // The governor is always the last observer — it must see each epoch
+  // *after* the policies acted — and is attached regardless of rc.governor
+  // so the observer walk and snapshot shape never depend on the flag; a
+  // disabled governor is a pure pass-through.
+  a.governor = std::make_unique<PolicyGovernor>(
+      GovernorOptions::from_config(rc.gpu, rc.governor), a.dase.get());
+  sim.add_observer(a.governor.get());
+  if (a.fair) a.fair->set_partition_sink(a.governor.get());
+  if (a.qos) a.qos->set_partition_sink(a.governor.get());
   return a;
 }
 
@@ -496,6 +507,9 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   if (fair) result.repartitions = fair->repartitions();
   if (qos) result.repartitions = qos->adjustments();
   if (temporal) result.repartitions = temporal->switches();
+  if (assembly.governor) {
+    result.governor_interventions = assembly.governor->interventions();
+  }
 
   // DRAM bandwidth decomposition over the co-run.
   const double capacity =

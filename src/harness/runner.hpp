@@ -28,6 +28,7 @@ class MiseModel;
 class AsmModel;
 class PriorityEpochDriver;
 class DaseFairPolicy;
+class PolicyGovernor;
 
 struct RunConfig {
   GpuConfig gpu;
@@ -59,6 +60,12 @@ struct RunConfig {
   /// clears it).  Applied to every Simulation this runner drives — co-run
   /// and alone replays; simulated output is bit-identical either way.
   bool activity_sched = true;
+  /// Policy safety governor (sched/governor.hpp; --no-governor clears
+  /// it).  The governor observer is attached either way so the SimState
+  /// walk keeps one shape; like the watchdog threshold this is caller
+  /// configuration, not simulated state, so a snapshot taken with the
+  /// governor on restores fine with it off (and vice versa).
+  bool governor = true;
   /// Loop profiler attached to the co-run Simulation (nullptr = none;
   /// --profile-loop).  Must outlive the runner calls that use this config.
   LoopProfiler* profiler = nullptr;
@@ -174,6 +181,9 @@ struct CoRunAssembly {
   std::unique_ptr<DaseFairPolicy> fair;
   std::unique_ptr<DaseQosPolicy> qos;
   std::unique_ptr<TemporalPolicy> temporal;
+  /// Always attached (last observer) so the observer walk has one shape;
+  /// pass-through when rc.governor is false.
+  std::unique_ptr<PolicyGovernor> governor;
 };
 
 struct TriageContext;
@@ -190,8 +200,8 @@ TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
 /// app launches seeded with harness_app_seed, watchdog and run limits from
 /// `rc`, the fault injector when a schedule is armed, the SM partition for
 /// the policy/split, and the model/policy observers in canonical
-/// registration order (dase, mise, asm, epochs, fair, qos, temporal — the
-/// order Simulation::load expects back).  Shared by the runner, the chaos
+/// registration order (dase, mise, asm, epochs, fair, qos, temporal,
+/// governor last — the order Simulation::load expects back).  Shared by the runner, the chaos
 /// engine and --triage so a restored snapshot always meets an identically
 /// assembled experiment.
 CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
@@ -221,6 +231,7 @@ struct CoRunResult {
   double wasted_bw_share = 0.0;
   double idle_bw_share = 0.0;
   u64 repartitions = 0;  // policy actions (migrations/switches/adjustments)
+  u64 governor_interventions = 0;  // clamps + rejects + holds + trips + aborts
 
   double mean_error_of(const std::string& model) const;
 };

@@ -68,6 +68,7 @@ int triage_impl(const std::string& bundle_dir, std::ostream& out) {
   rc.co_run_cycles = m.ctx.co_run_cycles;
   rc.base_seed = m.ctx.base_seed;
   rc.watchdog_cycles = m.ctx.watchdog_cycles;
+  rc.governor = m.ctx.governor;
   rc.faults = FaultSchedule::parse(m.ctx.faults);
   ModelSet models;
   models.dase = m.ctx.dase;

@@ -6,6 +6,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/sim_error.hpp"
+#include "sched/governor.hpp"
+
 namespace gpusim {
 
 namespace {
@@ -56,9 +59,25 @@ bool dase_fair_eligible(const KernelProfile& profile) {
          profile.instrs_per_warp >= kMinInstrsPerWarp;
 }
 
+void DaseFairOptions::validate() const {
+  SIM_CHECK(warmup_intervals >= 0,
+            SimError(SimErrorKind::kConfig, "sched.dase_fair",
+                     "warmup_intervals must be non-negative")
+                .detail("warmup_intervals", warmup_intervals));
+  SIM_CHECK(min_improvement >= 0.0 && min_improvement < 1.0,
+            SimError(SimErrorKind::kConfig, "sched.dase_fair",
+                     "min_improvement must be in [0, 1)")
+                .detail("min_improvement", min_improvement));
+  SIM_CHECK(min_sms_per_app >= 1,
+            SimError(SimErrorKind::kConfig, "sched.dase_fair",
+                     "min_sms_per_app must be at least 1")
+                .detail("min_sms_per_app", min_sms_per_app));
+}
+
 DaseFairPolicy::DaseFairPolicy(DaseModel* model, DaseFairOptions options)
     : model_(model), options_(options) {
   assert(model_ != nullptr);
+  options_.validate();
 }
 
 double DaseFairPolicy::interpolate_reciprocal(double reciprocal, int assigned,
@@ -133,8 +152,13 @@ void DaseFairPolicy::on_interval(const IntervalSample& sample, Gpu& gpu) {
     return;  // not enough predicted gain to pay the drain cost
   }
 
-  gpu.set_partition(build_assignment(gpu, best));
-  ++repartitions_;
+  const std::vector<AppId> assignment = build_assignment(gpu, best);
+  if (sink_ != nullptr) {
+    if (sink_->propose_partition(gpu, assignment)) ++repartitions_;
+  } else {
+    gpu.set_partition(assignment);
+    ++repartitions_;
+  }
 }
 
 std::vector<AppId> DaseFairPolicy::build_assignment(

@@ -18,6 +18,8 @@
 
 namespace gpusim {
 
+class PartitionSink;
+
 struct DaseFairOptions {
   /// Intervals to observe before the first repartition decision.
   int warmup_intervals = 1;
@@ -26,6 +28,10 @@ struct DaseFairOptions {
   double min_improvement = 0.05;
   /// Every application keeps at least this many SMs.
   int min_sms_per_app = 1;
+
+  /// Cross-checks the knobs; throws SimError(kConfig) on an inconsistent
+  /// combination.  Called by the policy constructor.
+  void validate() const;
 };
 
 /// Paper Section VII: the policy "is unsuitable for some kernels, which
@@ -41,6 +47,11 @@ class DaseFairPolicy final : public IntervalObserver {
   DaseFairPolicy(DaseModel* model, DaseFairOptions options = {});
 
   void on_interval(const IntervalSample& sample, Gpu& gpu) override;
+
+  /// Routes partition changes through `sink` (the PolicyGovernor) instead
+  /// of calling Gpu::set_partition directly; nullptr restores the direct
+  /// path.  repartitions() only counts proposals the sink forwarded.
+  void set_partition_sink(PartitionSink* sink) { sink_ = sink; }
 
   u64 repartitions() const { return repartitions_; }
 
@@ -77,6 +88,7 @@ class DaseFairPolicy final : public IntervalObserver {
 
   DaseModel* model_;
   DaseFairOptions options_;
+  PartitionSink* sink_ = nullptr;
   int intervals_seen_ = 0;
   u64 repartitions_ = 0;
 };

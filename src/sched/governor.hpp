@@ -1,0 +1,203 @@
+// PolicyGovernor — run-time safety contracts around every partitioning
+// policy (DESIGN.md §14).
+//
+// The paper's closed loop (DASE estimates -> Eq. 28-30 search -> SM-drain
+// migration) runs unguarded: a pathological estimate, a drain that never
+// converges, or oscillating decisions can starve an application or wedge
+// the run with only the generic progress watchdog to catch it.  The
+// governor sits between the policies and the Gpu and enforces:
+//
+//   1. Decision validation — every proposed partition is checked against
+//      invariants (one owner per SM, known app ids, every app at or above
+//      the min-SM floor, per-epoch reassignment delta bounded) before it
+//      reaches Gpu::set_partition; out-of-bounds proposals are clamped
+//      (kGovClamp events), structurally invalid ones raise a typed
+//      SimError.
+//   2. Drain watchdog — a migration still pending after
+//      governor_drain_budget cycles raises SimError(kMigrationStalled)
+//      with per-SM/app drain detail, or — with governor_force_preempt —
+//      is cancelled in place (kGovMigrationAbort) and the run continues
+//      on the partially migrated partition.
+//   3. Starvation / thrash breakers — an app pinned at the floor for
+//      governor_starvation_window consecutive epochs, or a partition flap
+//      (A->B->A within governor_thrash_window epochs), trips a circuit
+//      breaker that freezes the partition (kGovBreakerTrip); after
+//      governor_breaker_trips trips the governor abandons the policy and
+//      falls back to the even split permanently (kGovFallbackEven).
+//   4. Estimate confidence gating — an epoch whose estimates needed the
+//      sanitizer (PR 4 clamp counter advanced) or jumped more than
+//      governor_jump_bound relative to the previous epoch is
+//      low-confidence: the proposal is not forwarded and the last-good
+//      partition is held (kGovLowConfidenceHold).
+//
+// The governor is attached to every co-run as the LAST interval observer
+// regardless of policy, with identical serialized shape whether enabled or
+// not, so snapshot walks and observer registration order never depend on
+// the --governor flag.  Disabled, it is a pure pass-through: proposals go
+// straight to the Gpu and on_interval does nothing, reproducing pre-
+// governor behavior bit-exactly.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "dase/estimator.hpp"
+#include "gpu/simulator.hpp"
+
+namespace gpusim {
+
+/// Where policy partition proposals go when a governor is wired in.
+/// Policies call propose_partition instead of Gpu::set_partition; the
+/// return value says whether the (possibly clamped) proposal actually
+/// reached the GPU, so policy action counters only count real migrations.
+class PartitionSink {
+ public:
+  virtual ~PartitionSink() = default;
+  virtual bool propose_partition(Gpu& gpu,
+                                 const std::vector<AppId>& desired) = 0;
+};
+
+/// Payload `a` of kGovProposalRejected events.
+enum class GovernorReject : u64 {
+  kBreakerFrozen = 0,  ///< a tripped breaker is holding the partition
+  kFellBackEven = 1    ///< governor already fell back to the even split
+};
+
+/// Payload `a` of kGovLowConfidenceHold events.
+enum class GovernorHold : u64 {
+  kSanitizedEstimate = 0,  ///< the estimator sanitizer repaired this epoch
+  kEstimateJump = 1        ///< epoch-to-epoch estimate ratio over the bound
+};
+
+struct GovernorOptions {
+  bool enabled = true;
+  int num_sms = 16;
+  int min_sms_per_app = 1;
+  Cycle drain_budget = 1'000'000;
+  int max_delta = 8;
+  int starvation_window = 6;
+  int thrash_window = 8;
+  int breaker_trips = 3;
+  double jump_bound = 8.0;
+  bool force_preempt = false;
+
+  /// Governor knobs from a validated GpuConfig; `enabled` from the caller
+  /// (--governor / --no-governor).
+  static GovernorOptions from_config(const GpuConfig& cfg, bool enabled_flag);
+};
+
+class PolicyGovernor final : public IntervalObserver, public PartitionSink {
+ public:
+  /// `estimator` (usually the DASE model) feeds the confidence gate;
+  /// nullptr disables gating (no estimator attached to this run).
+  explicit PolicyGovernor(GovernorOptions options,
+                          const SlowdownEstimator* estimator = nullptr);
+
+  bool enabled() const { return options_.enabled; }
+
+  // -- PartitionSink -----------------------------------------------------
+  bool propose_partition(Gpu& gpu, const std::vector<AppId>& desired) override;
+
+  // -- IntervalObserver --------------------------------------------------
+  /// Runs after every policy at the same boundary: drain watchdog,
+  /// starvation bookkeeping, last-good capture, confidence cursors.
+  void on_interval(const IntervalSample& sample, Gpu& gpu) override;
+
+  // Intervention counters (lifetime, serialized).
+  u64 clamps() const { return clamps_; }
+  u64 rejects() const { return rejects_; }
+  u64 holds() const { return holds_; }
+  u64 breaker_trips() const { return trips_; }
+  u64 fallbacks() const { return fallbacks_; }
+  u64 stalls_aborted() const { return stalls_aborted_; }
+  bool fell_back_even() const { return fell_back_even_; }
+  /// Total interventions of any kind (clamp + reject + hold + trip + abort).
+  u64 interventions() const {
+    return clamps_ + rejects_ + holds_ + trips_ + fallbacks_ +
+           stalls_aborted_;
+  }
+  const std::vector<AppId>& last_good_partition() const { return last_good_; }
+
+  // -- SimState ----------------------------------------------------------
+  // Serialized shape is identical whether the governor is enabled or not
+  // (a disabled governor simply never mutates any of it), so --governor /
+  // --no-governor snapshots stay interchangeable.
+  void save_state(StateWriter& w) const override { write_obs_state(w); }
+  void hash_state(Hasher& h) const override { write_obs_state(h); }
+  void load_state(StateReader& r) override;
+
+ private:
+  template <typename Sink>
+  void write_obs_state(Sink& s) const {
+    s.put_tag("GOVN");
+    s.put_u64(epoch_);
+    s.put_bool(migration_seen_);
+    s.put_u64(migration_start_cycle_);
+    write_partition(s, last_good_);
+    write_partition(s, prev1_);
+    write_partition(s, prev2_);
+    s.put_i32(flap_count_);
+    s.put_u64(last_flap_epoch_);
+    for (const i32 v : starve_count_) s.put_i32(v);
+    s.put_i32(trips_i_);
+    s.put_u64(frozen_until_epoch_);
+    s.put_bool(fell_back_even_);
+    s.put_u64(last_sanitized_);
+    s.put_bool(have_prev_slowdowns_);
+    s.put_u64(prev_slowdowns_.size());
+    for (const double v : prev_slowdowns_) s.put_double(v);
+    s.put_u64(clamps_);
+    s.put_u64(rejects_);
+    s.put_u64(holds_);
+    s.put_u64(trips_);
+    s.put_u64(fallbacks_);
+    s.put_u64(stalls_aborted_);
+  }
+  template <typename Sink>
+  static void write_partition(Sink& s, const std::vector<AppId>& p) {
+    s.put_u64(p.size());
+    for (const AppId a : p) s.put_i32(a);
+  }
+
+  /// Validates structure (typed SimError) and clamps floor/delta
+  /// violations in place; returns true when anything was clamped.
+  bool validate_and_clamp(Gpu& gpu, std::vector<AppId>& partition);
+  /// True when this epoch's estimates are not trustworthy; records the
+  /// hold event with the offending app/reason.
+  bool low_confidence(Gpu& gpu);
+  /// One breaker trip (starved app, or kInvalidApp for thrash); freezes
+  /// the partition and falls back to the even split on the final trip.
+  void trip_breaker(Gpu& gpu, AppId starved_app);
+  void check_drain_watchdog(Gpu& gpu);
+  std::string stalled_drain_detail(const Gpu& gpu) const;
+
+  GovernorOptions options_;
+  const SlowdownEstimator* estimator_;
+
+  u64 epoch_ = 0;
+  bool migration_seen_ = false;
+  Cycle migration_start_cycle_ = 0;
+  std::vector<AppId> last_good_;
+  std::vector<AppId> prev1_;  ///< last forwarded partition
+  std::vector<AppId> prev2_;  ///< forwarded partition before prev1_
+  i32 flap_count_ = 0;
+  u64 last_flap_epoch_ = 0;
+  std::array<i32, kMaxApps> starve_count_{};
+  i32 trips_i_ = 0;  ///< trips counted against the fallback limit
+  u64 frozen_until_epoch_ = 0;
+  bool fell_back_even_ = false;
+  u64 last_sanitized_ = 0;
+  bool have_prev_slowdowns_ = false;
+  std::vector<double> prev_slowdowns_;
+
+  u64 clamps_ = 0;
+  u64 rejects_ = 0;
+  u64 holds_ = 0;
+  u64 trips_ = 0;
+  u64 fallbacks_ = 0;
+  u64 stalls_aborted_ = 0;
+};
+
+}  // namespace gpusim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sched/governor.hpp"
+
 namespace gpusim {
 
 std::vector<AppId> LeftoverPolicy::allocation(
@@ -112,8 +114,12 @@ void DaseQosPolicy::on_interval(const IntervalSample& sample, Gpu& gpu) {
       --to_release;
     }
   }
-  gpu.set_partition(assignment);
-  ++adjustments_;
+  if (sink_ != nullptr) {
+    if (sink_->propose_partition(gpu, assignment)) ++adjustments_;
+  } else {
+    gpu.set_partition(assignment);
+    ++adjustments_;
+  }
 }
 
 }  // namespace gpusim

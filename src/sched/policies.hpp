@@ -24,6 +24,8 @@
 
 namespace gpusim {
 
+class PartitionSink;
+
 /// Gives the first application every SM it can occupy; later applications
 /// only receive SMs the first one left over (none, for full-GPU grids).
 class LeftoverPolicy final : public IntervalObserver {
@@ -96,6 +98,11 @@ class DaseQosPolicy final : public IntervalObserver {
 
   void on_interval(const IntervalSample& sample, Gpu& gpu) override;
 
+  /// Routes partition changes through `sink` (the PolicyGovernor) instead
+  /// of calling Gpu::set_partition directly; nullptr restores the direct
+  /// path.  adjustments() only counts proposals the sink forwarded.
+  void set_partition_sink(PartitionSink* sink) { sink_ = sink; }
+
   u64 adjustments() const { return adjustments_; }
 
   void save_state(StateWriter& w) const override { write_obs_state(w); }
@@ -116,6 +123,7 @@ class DaseQosPolicy final : public IntervalObserver {
 
   DaseModel* model_;
   DaseQosOptions options_;
+  PartitionSink* sink_ = nullptr;
   int intervals_seen_ = 0;
   u64 adjustments_ = 0;
 };

@@ -1,0 +1,431 @@
+// PolicyGovernor unit tests: decision validation/clamping, the drain
+// watchdog (typed kMigrationStalled and the forced-preemption fallback),
+// the starvation and thrash breakers with the even-split fallback ladder,
+// the estimate-confidence gate (NaN / zero / jumping estimates are never
+// forwarded into a partition change), and byte-identical serialization of
+// governor state.
+#include "sched/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/sim_error.hpp"
+#include "common/simstate.hpp"
+#include "dase/estimator.hpp"
+#include "gpu/simulator.hpp"
+#include "kernels/app_registry.hpp"
+
+namespace gpusim {
+namespace {
+
+/// A scripted estimator: returns whatever the test programs, so the
+/// confidence gate can be driven with NaN / zero / jumping estimates
+/// without arranging real pathological interval samples.
+class FakeEstimator final : public SlowdownEstimator {
+ public:
+  FakeEstimator() : SlowdownEstimator(0) {}
+  std::string name() const override { return "FAKE"; }
+  void script(int num_apps, double slowdown) {
+    scripted_.assign(static_cast<std::size_t>(num_apps), SlowdownEstimate{});
+    for (SlowdownEstimate& e : scripted_) {
+      e.valid = true;
+      e.slowdown_assigned = slowdown;
+      e.slowdown_all = slowdown;
+    }
+  }
+
+ protected:
+  std::vector<SlowdownEstimate> estimate(const IntervalSample&,
+                                         Gpu&) override {
+    return scripted_;
+  }
+
+ private:
+  std::vector<SlowdownEstimate> scripted_;
+};
+
+std::unique_ptr<Simulation> make_sim(int num_apps,
+                                     Cycle estimation_interval = 10'000,
+                                     bool assign_even = true) {
+  GpuConfig cfg;
+  cfg.estimation_interval = estimation_interval;
+  static const char* kApps[] = {"VA", "SD", "SA", "CT"};
+  std::vector<AppLaunch> launches;
+  for (int i = 0; i < num_apps; ++i) {
+    launches.push_back(AppLaunch{*find_app(kApps[i]), 100 + i * 17ull});
+  }
+  auto sim = std::make_unique<Simulation>(cfg, std::move(launches));
+  if (assign_even) {
+    sim->gpu().set_partition(even_partition(sim->gpu().num_sms(), num_apps));
+  }
+  return sim;
+}
+
+/// SMs owned by `app` under the partition the GPU is converging to.  The
+/// unit tests never run the simulation, so reassigned SMs hold their
+/// (eagerly dispatched) blocks forever and drains never settle — the
+/// desired partition is what the governor actually decided.
+int desired_sms(const Gpu& gpu, AppId app) {
+  int n = 0;
+  for (const AppId a : gpu.desired_partition()) n += a == app ? 1 : 0;
+  return n;
+}
+
+IntervalSample dummy_sample(const Gpu& gpu) {
+  IntervalSample s;
+  s.total_sms = gpu.num_sms();
+  s.count_apps = gpu.num_apps();
+  s.apps.resize(static_cast<std::size_t>(gpu.num_apps()));
+  for (int a = 0; a < gpu.num_apps(); ++a) s.apps[a].app = a;
+  return s;
+}
+
+/// `base` with `n` of app 0's SMs handed to app 1 (idle SMs untouched).
+std::vector<AppId> shifted(std::vector<AppId> base, int n) {
+  for (AppId& owner : base) {
+    if (n == 0) break;
+    if (owner == 0) {
+      owner = 1;
+      --n;
+    }
+  }
+  return base;
+}
+
+bool has_event(const Gpu& gpu, FrEvent kind) {
+  for (const FlightEvent& e : gpu.flight_recorder().events_in_order()) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(GovernorTest, DisabledGovernorIsPurePassThrough) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.enabled = false;
+  PolicyGovernor gov(o);
+  const std::vector<AppId> want =
+      shifted(sim->gpu().current_partition(), 5);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), want));
+  EXPECT_EQ(sim->gpu().desired_partition(), want);
+  gov.on_interval(dummy_sample(sim->gpu()), sim->gpu());
+  EXPECT_EQ(gov.interventions(), 0u);
+}
+
+TEST(GovernorTest, HealthyProposalIsForwardedVerbatim) {
+  auto sim = make_sim(2);
+  PolicyGovernor gov(GovernorOptions{});
+  const std::vector<AppId> want =
+      shifted(sim->gpu().current_partition(), 2);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), want));
+  EXPECT_EQ(sim->gpu().desired_partition(), want);
+  EXPECT_EQ(gov.clamps(), 0u);
+  EXPECT_EQ(gov.interventions(), 0u);
+}
+
+TEST(GovernorTest, RepeatOfCurrentPartitionIsANoOp) {
+  auto sim = make_sim(2);
+  PolicyGovernor gov(GovernorOptions{});
+  EXPECT_FALSE(
+      gov.propose_partition(sim->gpu(), sim->gpu().current_partition()));
+  EXPECT_EQ(gov.interventions(), 0u);
+}
+
+TEST(GovernorTest, WrongSizeProposalRaisesTypedInvariant) {
+  auto sim = make_sim(2);
+  PolicyGovernor gov(GovernorOptions{});
+  try {
+    gov.propose_partition(sim->gpu(), std::vector<AppId>(3, 0));
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kInvariant);
+    EXPECT_EQ(e.component(), "sched.governor");
+  }
+}
+
+TEST(GovernorTest, UnknownAppOrUnownedSmRaises) {
+  auto sim = make_sim(2);
+  PolicyGovernor gov(GovernorOptions{});
+  std::vector<AppId> bad = sim->gpu().current_partition();
+  bad[0] = 7;  // only apps 0 and 1 exist
+  EXPECT_THROW(gov.propose_partition(sim->gpu(), bad), SimError);
+  bad[0] = kInvalidApp;  // the governor's floor forbids idling SMs away
+  EXPECT_THROW(gov.propose_partition(sim->gpu(), bad), SimError);
+}
+
+TEST(GovernorTest, FloorViolationIsClampedNotForwarded) {
+  auto sim = make_sim(2);
+  PolicyGovernor gov(GovernorOptions{});
+  // The policy proposes starving app 1 outright.
+  const std::vector<AppId> greedy(sim->gpu().num_sms(), 0);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), greedy));
+  EXPECT_GE(desired_sms(sim->gpu(), 1), 1);
+  EXPECT_GE(gov.clamps(), 1u);
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovClamp));
+}
+
+TEST(GovernorTest, PerEpochDeltaIsBounded) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.max_delta = 2;
+  PolicyGovernor gov(o);
+  // 8/8 -> 12/4 moves four SMs; the governor allows at most two per epoch.
+  std::vector<AppId> want(sim->gpu().num_sms(), 0);
+  for (int s = 12; s < 16; ++s) want[s] = 1;
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), want));
+  EXPECT_EQ(desired_sms(sim->gpu(), 0), 10);
+  EXPECT_EQ(desired_sms(sim->gpu(), 1), 6);
+  EXPECT_GE(gov.clamps(), 1u);
+}
+
+TEST(GovernorTest, ClampedRebuildKeepsOwnedSmsInPlace) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.max_delta = 1;
+  PolicyGovernor gov(o);
+  const std::vector<AppId> before = sim->gpu().current_partition();
+  std::vector<AppId> want(sim->gpu().num_sms(), 0);
+  for (int s = 10; s < 16; ++s) want[s] = 1;
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), want));
+  const std::vector<AppId> after = sim->gpu().desired_partition();
+  int moved = 0;
+  for (int s = 0; s < sim->gpu().num_sms(); ++s) {
+    moved += after[s] != before[s] ? 1 : 0;
+  }
+  EXPECT_EQ(moved, 1) << "a delta-1 clamp must migrate exactly one SM";
+}
+
+TEST(GovernorTest, ThrashBreakerFreezesThenFallsBackToEvenSplit) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.breaker_trips = 1;  // first trip goes straight to the fallback
+  PolicyGovernor gov(o);
+  const std::vector<AppId> a = sim->gpu().current_partition();
+  const std::vector<AppId> b = shifted(a, 1);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), b));
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), a));
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), b));  // first flap
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), a));  // second: breaker
+  EXPECT_EQ(gov.breaker_trips(), 1u);
+  EXPECT_TRUE(gov.fell_back_even());
+  EXPECT_EQ(sim->gpu().desired_partition(),
+            even_partition(sim->gpu().num_sms(), 2));
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovBreakerTrip));
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovFallbackEven));
+  // Fallen back, every further proposal is rejected.
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), b));
+  EXPECT_GE(gov.rejects(), 1u);
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovProposalRejected));
+}
+
+TEST(GovernorTest, BreakerFreezeRejectsUntilWindowPasses) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.thrash_window = 3;
+  o.breaker_trips = 5;
+  PolicyGovernor gov(o);
+  const std::vector<AppId> a = sim->gpu().current_partition();
+  const std::vector<AppId> b = shifted(a, 1);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), b));
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), a));
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), b));
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), a));  // trips, freezes
+  EXPECT_FALSE(gov.fell_back_even());
+  // Frozen for thrash_window epochs: proposals bounce.
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), a));
+  const IntervalSample s = dummy_sample(sim->gpu());
+  for (int i = 0; i < o.thrash_window; ++i) {
+    gov.on_interval(s, sim->gpu());
+  }
+  // Window passed: a (non-flapping) proposal goes through again.
+  const std::vector<AppId> c = shifted(a, 2);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), c));
+}
+
+TEST(GovernorTest, StarvationBreakerTripsAfterWindow) {
+  // Assign the pinned split first (idle SMs take it instantly) so the
+  // actual owners — what the starvation breaker watches — are 15/1.
+  auto sim = make_sim(2, 10'000, /*assign_even=*/false);
+  GovernorOptions o;
+  o.starvation_window = 3;
+  o.breaker_trips = 1;
+  PolicyGovernor gov(o);
+  std::vector<AppId> pinned(sim->gpu().num_sms(), 0);
+  pinned.back() = 1;
+  sim->gpu().set_partition(pinned);
+  ASSERT_EQ(sim->gpu().sms_assigned(1), 1);
+  const IntervalSample s = dummy_sample(sim->gpu());
+  gov.on_interval(s, sim->gpu());
+  gov.on_interval(s, sim->gpu());
+  EXPECT_EQ(gov.breaker_trips(), 0u);
+  gov.on_interval(s, sim->gpu());
+  EXPECT_EQ(gov.breaker_trips(), 1u);
+  EXPECT_TRUE(gov.fell_back_even());
+  EXPECT_EQ(sim->gpu().desired_partition(),
+            even_partition(sim->gpu().num_sms(), 2));
+}
+
+TEST(GovernorTest, NanEstimatesAreNeverForwarded) {
+  auto sim = make_sim(2);
+  FakeEstimator est;
+  PolicyGovernor gov(GovernorOptions{}, &est);
+  const IntervalSample s = dummy_sample(sim->gpu());
+  est.script(2, std::nan(""));
+  est.on_interval(s, sim->gpu());  // sanitizer repairs -> counter advances
+  const std::vector<AppId> before = sim->gpu().current_partition();
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), shifted(before, 2)));
+  EXPECT_EQ(sim->gpu().current_partition(), before);
+  EXPECT_EQ(gov.holds(), 1u);
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovLowConfidenceHold));
+}
+
+TEST(GovernorTest, ZeroEstimatesAreNeverForwarded) {
+  auto sim = make_sim(2);
+  FakeEstimator est;
+  PolicyGovernor gov(GovernorOptions{}, &est);
+  const IntervalSample s = dummy_sample(sim->gpu());
+  est.script(2, 0.0);  // clamped up to kMinSlowdown by the sanitizer
+  est.on_interval(s, sim->gpu());
+  const std::vector<AppId> before = sim->gpu().current_partition();
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), shifted(before, 2)));
+  EXPECT_EQ(sim->gpu().current_partition(), before);
+  EXPECT_EQ(gov.holds(), 1u);
+}
+
+TEST(GovernorTest, EstimateJumpHoldsLastGoodPartition) {
+  auto sim = make_sim(2);
+  FakeEstimator est;
+  GovernorOptions o;
+  o.jump_bound = 8.0;
+  PolicyGovernor gov(o, &est);
+  const IntervalSample s = dummy_sample(sim->gpu());
+  est.script(2, 2.0);
+  est.on_interval(s, sim->gpu());
+  gov.on_interval(s, sim->gpu());  // cursors remember slowdown 2.0
+  est.script(2, 100.0);            // 50x interval-to-interval jump
+  est.on_interval(s, sim->gpu());
+  const std::vector<AppId> before = sim->gpu().current_partition();
+  EXPECT_FALSE(gov.propose_partition(sim->gpu(), shifted(before, 2)));
+  EXPECT_EQ(sim->gpu().current_partition(), before);
+  EXPECT_EQ(gov.holds(), 1u);
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovLowConfidenceHold));
+}
+
+TEST(GovernorTest, SmoothEstimateDriftPassesTheGate) {
+  auto sim = make_sim(2);
+  FakeEstimator est;
+  PolicyGovernor gov(GovernorOptions{}, &est);
+  const IntervalSample s = dummy_sample(sim->gpu());
+  est.script(2, 2.0);
+  est.on_interval(s, sim->gpu());
+  gov.on_interval(s, sim->gpu());
+  est.script(2, 3.0);  // 1.5x: well inside the bound
+  est.on_interval(s, sim->gpu());
+  const std::vector<AppId> want =
+      shifted(sim->gpu().current_partition(), 2);
+  EXPECT_TRUE(gov.propose_partition(sim->gpu(), want));
+  EXPECT_EQ(gov.holds(), 0u);
+}
+
+TEST(GovernorTest, StalledDrainRaisesTypedMigrationStalled) {
+  auto sim = make_sim(2, 2'000);
+  GovernorOptions o;
+  o.drain_budget = 1'000;  // far below any real block drain
+  PolicyGovernor gov(o);
+  sim->add_observer(&gov);
+  sim->run(4'000);  // SMs now hold active blocks; drains take a while
+  ASSERT_TRUE(gov.propose_partition(
+      sim->gpu(), shifted(sim->gpu().current_partition(), 1)));
+  ASSERT_TRUE(sim->gpu().migration_in_progress());
+  try {
+    sim->run(6'000);
+    FAIL() << "expected kMigrationStalled";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kMigrationStalled);
+    EXPECT_EQ(e.component(), "sched.governor");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("drain_budget"), std::string::npos);
+    EXPECT_NE(what.find("sm="), std::string::npos)
+        << "the error must name the stalled SMs";
+  }
+}
+
+TEST(GovernorTest, ForcePreemptAbortsTheStalledDrainAndContinues) {
+  auto sim = make_sim(2, 2'000);
+  GovernorOptions o;
+  o.drain_budget = 1'000;
+  o.force_preempt = true;
+  PolicyGovernor gov(o);
+  sim->add_observer(&gov);
+  sim->run(4'000);
+  ASSERT_TRUE(gov.propose_partition(
+      sim->gpu(), shifted(sim->gpu().current_partition(), 1)));
+  ASSERT_TRUE(sim->gpu().migration_in_progress());
+  EXPECT_NO_THROW(sim->run(6'000));
+  EXPECT_FALSE(sim->gpu().migration_in_progress());
+  EXPECT_EQ(gov.stalls_aborted(), 1u);
+  EXPECT_TRUE(has_event(sim->gpu(), FrEvent::kGovMigrationAbort));
+}
+
+TEST(GovernorTest, StateRoundTripIsByteIdentical) {
+  auto sim = make_sim(2);
+  GovernorOptions o;
+  o.breaker_trips = 2;
+  PolicyGovernor gov(o);
+  // Accumulate non-trivial state: a clamp, a flap, a trip, counters.
+  const std::vector<AppId> a = sim->gpu().current_partition();
+  const std::vector<AppId> b = shifted(a, 1);
+  gov.propose_partition(sim->gpu(), std::vector<AppId>(16, 0));  // clamp
+  gov.propose_partition(sim->gpu(), a);
+  gov.propose_partition(sim->gpu(), b);
+  gov.propose_partition(sim->gpu(), a);  // flap bookkeeping
+  const IntervalSample s = dummy_sample(sim->gpu());
+  gov.on_interval(s, sim->gpu());
+  gov.on_interval(s, sim->gpu());
+
+  StateWriter w;
+  gov.save_state(w);
+  const std::vector<u8> bytes = w.bytes();
+
+  PolicyGovernor fresh(o);
+  StateReader r(bytes);
+  fresh.load_state(r);
+  StateWriter w2;
+  fresh.save_state(w2);
+  EXPECT_EQ(w2.bytes(), bytes) << "governor state must round-trip exactly";
+
+  Hasher ha, hb;
+  gov.hash_state(ha);
+  fresh.hash_state(hb);
+  EXPECT_EQ(ha.digest(), hb.digest());
+  EXPECT_EQ(fresh.clamps(), gov.clamps());
+  EXPECT_EQ(fresh.breaker_trips(), gov.breaker_trips());
+  EXPECT_EQ(fresh.last_good_partition(), gov.last_good_partition());
+}
+
+TEST(GovernorTest, FromConfigCopiesEveryKnob) {
+  GpuConfig cfg;
+  cfg.governor_drain_budget = 123'456;
+  cfg.governor_max_delta = 3;
+  cfg.governor_starvation_window = 9;
+  cfg.governor_thrash_window = 4;
+  cfg.governor_breaker_trips = 7;
+  cfg.governor_jump_bound = 2.5;
+  cfg.governor_force_preempt = true;
+  const GovernorOptions o = GovernorOptions::from_config(cfg, false);
+  EXPECT_FALSE(o.enabled);
+  EXPECT_EQ(o.num_sms, cfg.num_sms);
+  EXPECT_EQ(o.drain_budget, 123'456u);
+  EXPECT_EQ(o.max_delta, 3);
+  EXPECT_EQ(o.starvation_window, 9);
+  EXPECT_EQ(o.thrash_window, 4);
+  EXPECT_EQ(o.breaker_trips, 7);
+  EXPECT_DOUBLE_EQ(o.jump_bound, 2.5);
+  EXPECT_TRUE(o.force_preempt);
+}
+
+}  // namespace
+}  // namespace gpusim

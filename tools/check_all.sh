@@ -2,7 +2,8 @@
 # The one merge gate: tier-1 build + full test suite, then every
 # specialised checker — ASan/UBSan, TSan over the concurrency-heavy
 # tests, the state-hash determinism audit, a bounded chaos campaign, the
-# JobManager kill/resume gate, and the performance-regression gate.
+# JobManager kill/resume gate, the policy-governor safety gate, and the
+# performance-regression gate.
 # CI invokes exactly this script; run it locally before pushing anything
 # that touches simulator, harness or serialization code.
 #
@@ -36,26 +37,28 @@ step() {
   return "$rc"
 }
 
-step "[1/8] tier-1: configure + build" bash -c \
+step "[1/9] tier-1: configure + build" bash -c \
   "cmake -B build -S . && cmake --build build -j '$JOBS'"
-step "[1/8] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
+step "[1/9] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
 
-step "[2/8] determinism audit" tools/check_determinism.sh build
+step "[2/9] determinism audit" tools/check_determinism.sh build
 
-step "[3/8] chaos campaign" tools/check_chaos.sh build
+step "[3/9] chaos campaign" tools/check_chaos.sh build
 
-step "[4/8] job batches: kill, resume, exit codes" tools/check_jobs.sh build
+step "[4/9] job batches: kill, resume, exit codes" tools/check_jobs.sh build
 
-step "[5/8] crash forensics: bundle + triage" tools/check_triage.sh build
+step "[5/9] crash forensics: bundle + triage" tools/check_triage.sh build
 
-step "[6/8] ASan + UBSan" tools/check_sanitize.sh
+step "[6/9] policy governor: watchdog, breakers, transparency" tools/check_governor.sh build
 
-step "[7/8] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
+step "[7/9] ASan + UBSan" tools/check_sanitize.sh
+
+step "[8/9] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
 
 if [[ "$SKIP_PERF" == "1" ]]; then
-  echo "===== [8/8] perf gate: SKIPPED ====="
+  echo "===== [9/9] perf gate: SKIPPED ====="
 else
-  step "[8/8] perf gate" tools/check_perf.sh build
+  step "[9/9] perf gate" tools/check_perf.sh build
 fi
 
 echo "check_all: OK"

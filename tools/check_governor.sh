@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Policy-governor gate: drive the guarded-scheduling contracts
+# (DESIGN.md §14) through the real CLI.
+#
+#   1. Transparency — a healthy run's output is byte-identical with
+#      --governor and --no-governor, for both the static even split and
+#      the live DASE-Fair loop.
+#   2. Drain watchdog — a drain budget tightened to one estimation
+#      interval makes the first real migration stall out: the run must
+#      die with the typed migration-stalled error (exit 3) and per-SM
+#      drain detail on stderr.
+#   3. Forced preemption — the same stall with governor_force_preempt
+#      on must complete instead, reporting the abort as an intervention.
+#   4. Starvation breaker — a static 15/1 split pins the second app at
+#      the min-SM floor; the breaker must trip and the run must report
+#      governor interventions.
+#
+#   tools/check_governor.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/tools/gpusim_cli"
+
+if [[ ! -x "$CLI" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target gpusim_cli
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+
+# ---- 1. healthy runs are byte-identical with the governor on or off ----
+for policy in even dase-fair; do
+  "$CLI" --apps VA,SD --policy "$policy" --cycles 60000 --governor \
+    > "$TMP/on.out" 2>&1
+  "$CLI" --apps VA,SD --policy "$policy" --cycles 60000 --no-governor \
+    > "$TMP/off.out" 2>&1
+  if cmp -s "$TMP/on.out" "$TMP/off.out"; then
+    echo "OK:   healthy $policy run byte-identical with --governor/--no-governor"
+  else
+    echo "FAIL: healthy $policy run differs between --governor and --no-governor"
+    diff "$TMP/on.out" "$TMP/off.out" | head -20
+    fail=1
+  fi
+done
+
+# ---- 2. drain watchdog: a budget of one interval stalls the first real
+#         migration and raises the typed error --------------------------
+printf 'estimation_interval=50000\ngovernor_drain_budget=50000\n' \
+  > "$TMP/stall.cfg"
+rc=0
+"$CLI" --apps VA,SD --policy dase-fair --cycles 300000 \
+  --config "$TMP/stall.cfg" --bundle-dir "$TMP/bundles" \
+  > "$TMP/stall.out" 2> "$TMP/stall.err" || rc=$?
+if [[ "$rc" == 3 ]] && grep -q "migration-stalled" "$TMP/stall.err"; then
+  echo "OK:   tight drain budget raised migration-stalled (exit $rc)"
+else
+  echo "FAIL: expected exit 3 + migration-stalled, got exit $rc"
+  tail -5 "$TMP/stall.err"
+  fail=1
+fi
+if grep -q "sm=" "$TMP/stall.err"; then
+  echo "OK:   stall error carries per-SM drain detail"
+else
+  echo "FAIL: migration-stalled error has no per-SM drain detail"
+  fail=1
+fi
+
+# ---- 3. the same stall with forced preemption completes ---------------
+printf 'estimation_interval=50000\ngovernor_drain_budget=50000\ngovernor_force_preempt=true\n' \
+  > "$TMP/preempt.cfg"
+rc=0
+"$CLI" --apps VA,SD --policy dase-fair --cycles 300000 \
+  --config "$TMP/preempt.cfg" --no-bundle \
+  > "$TMP/preempt.out" 2>&1 || rc=$?
+if [[ "$rc" == 0 ]] && grep -q "governor interventions" "$TMP/preempt.out"; then
+  echo "OK:   force-preempt run completed with interventions reported"
+else
+  echo "FAIL: force-preempt run: exit $rc, interventions line missing"
+  tail -5 "$TMP/preempt.out"
+  fail=1
+fi
+
+# ---- 4. a starved static split trips the breaker ----------------------
+printf 'estimation_interval=10000\ngovernor_starvation_window=2\n' \
+  > "$TMP/starve.cfg"
+rc=0
+"$CLI" --apps VA,SD --split 15,1 --cycles 60000 \
+  --config "$TMP/starve.cfg" --no-bundle \
+  > "$TMP/starve.out" 2>&1 || rc=$?
+if [[ "$rc" == 0 ]] && grep -q "governor interventions" "$TMP/starve.out"; then
+  echo "OK:   starved 15/1 split reported governor interventions"
+else
+  echo "FAIL: starved split run: exit $rc, interventions line missing"
+  tail -5 "$TMP/starve.out"
+  fail=1
+fi
+rc=0
+"$CLI" --apps VA,SD --split 15,1 --cycles 60000 \
+  --config "$TMP/starve.cfg" --no-bundle --no-governor \
+  > "$TMP/starve_off.out" 2>&1 || rc=$?
+if [[ "$rc" == 0 ]] && ! grep -q "governor interventions" "$TMP/starve_off.out"; then
+  echo "OK:   --no-governor leaves the starved split unreported (old behavior)"
+else
+  echo "FAIL: --no-governor starved split: exit $rc or unexpected interventions"
+  fail=1
+fi
+
+if [[ "$fail" != 0 ]]; then
+  echo "governor check failed"
+  exit 1
+fi
+echo "governor check passed"

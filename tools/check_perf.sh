@@ -18,9 +18,12 @@
 #   GPUSIM_PERF_RELATIVE_ONLY         1 = skip the absolute cycles/sec gates
 #                                     (for CI hosts with unknown wall-clock
 #                                     performance); still asserts the schema
-#                                     keys exist and the activity engine's
+#                                     keys exist, the activity engine's
 #                                     contended speedup meets
-#                                     GPUSIM_PERF_MIN_SPEEDUP (default 1.2)
+#                                     GPUSIM_PERF_MIN_SPEEDUP (default 1.2),
+#                                     and the governor overhead ratio meets
+#                                     GPUSIM_PERF_MIN_GOVERNOR_RATIO
+#                                     (default 0.98, i.e. <=2% overhead)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +38,7 @@ TOLERANCE="${GPUSIM_PERF_TOLERANCE:-0.15}"
 TOLERANCE_CONTENDED="${GPUSIM_PERF_TOLERANCE_CONTENDED:-0.10}"
 RELATIVE_ONLY="${GPUSIM_PERF_RELATIVE_ONLY:-0}"
 MIN_SPEEDUP="${GPUSIM_PERF_MIN_SPEEDUP:-1.2}"
+MIN_GOVERNOR_RATIO="${GPUSIM_PERF_MIN_GOVERNOR_RATIO:-0.98}"
 BASELINE="BENCH_throughput.json"
 FRESH="$BUILD_DIR/BENCH_throughput.json"
 
@@ -57,6 +61,8 @@ fail=0
 for key in sim_cycles_per_sec_fast_forward sim_cycles_per_sec_no_fast_forward \
            contended_cycles_per_sec contended_cycles_per_sec_no_activity \
            contended_activity_speedup contended_fast_forwarded_fraction \
+           governor_on_cycles_per_sec governor_off_cycles_per_sec \
+           governor_overhead_ratio \
            profile_sm_advance_ns profile_partition_ns profile_total_ns; do
   if [[ -z "$(json_key "$FRESH" "$key")" ]]; then
     echo "FAIL: key $key missing from fresh measurement"
@@ -73,6 +79,19 @@ if [[ "$ok" == 1 ]]; then
   echo "OK:   contended_activity_speedup ${speedup}x (floor ${MIN_SPEEDUP}x)"
 else
   echo "FAIL: contended_activity_speedup ${speedup}x below floor ${MIN_SPEEDUP}x"
+  fail=1
+fi
+
+# The governor overhead is also host-independent (same binary, same co-run,
+# governor on vs off), so the <=2% overhead contract (DESIGN.md §14) is
+# gated even in relative-only mode.
+gov_ratio=$(json_key "$FRESH" governor_overhead_ratio)
+ok=$(awk -v r="${gov_ratio:-0}" -v min="$MIN_GOVERNOR_RATIO" \
+     'BEGIN { print (r >= min) ? 1 : 0 }')
+if [[ "$ok" == 1 ]]; then
+  echo "OK:   governor_overhead_ratio ${gov_ratio} (floor ${MIN_GOVERNOR_RATIO})"
+else
+  echo "FAIL: governor_overhead_ratio ${gov_ratio} below floor ${MIN_GOVERNOR_RATIO}"
   fail=1
 fi
 

@@ -52,6 +52,7 @@
 #include "harness/table_printer.hpp"
 #include "harness/triage.hpp"
 #include "kernels/app_registry.hpp"
+#include "sched/governor.hpp"
 
 namespace {
 
@@ -147,6 +148,12 @@ void print_result(const CoRunResult& result, const ModelSet& models) {
   }
   std::cout << " wasted=" << TablePrinter::pct(result.wasted_bw_share)
             << " idle=" << TablePrinter::pct(result.idle_bw_share) << '\n';
+  // Only printed when the governor actually intervened, so healthy runs
+  // stay byte-identical between --governor and --no-governor.
+  if (result.governor_interventions != 0) {
+    std::cout << "governor interventions " << result.governor_interventions
+              << '\n';
+  }
 }
 
 int run_sweep(const std::string& which, const RunConfig& rc,
@@ -213,6 +220,7 @@ int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
   opts.cycles = rc.co_run_cycles;
   opts.jobs = jobs;
   opts.recovery = recovery;
+  opts.governor = rc.governor;
   opts.minimize = minimize;
   opts.checkpoint_path = checkpoint;
   opts.base_seed = rc.base_seed;
@@ -260,6 +268,7 @@ int run_replay(const RunConfig& rc, const Workload& workload,
   opts.gpu = rc.gpu;
   opts.cycles = rc.co_run_cycles;
   opts.recovery = recovery;
+  opts.governor = rc.governor;
   opts.base_seed = rc.base_seed;
   opts.crash_bundle_dir = rc.crash_bundle_dir;
   const FaultSchedule schedule = FaultSchedule::parse(spec);
@@ -325,6 +334,12 @@ struct AuditSim {
     sim->gpu().set_partition(even_partition(
         sim->gpu().num_sms(), static_cast<int>(workload.apps.size())));
     sim->add_observer(dase.get());
+    // Attached in both audit runs (same observer walk as assemble_corun),
+    // so the compared state hashes cover governor state too and the audit
+    // passes with --governor and --no-governor alike.
+    governor = std::make_unique<PolicyGovernor>(
+        GovernorOptions::from_config(rc.gpu, rc.governor), dase.get());
+    sim->add_observer(governor.get());
     if (rc.faults.any()) {
       // Auditing under faults: both runs arm identical injectors, so the
       // fault decisions (and the injector's serialized counters) must
@@ -334,6 +349,7 @@ struct AuditSim {
     }
   }
   std::unique_ptr<DaseModel> dase;
+  std::unique_ptr<PolicyGovernor> governor;
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<Simulation> sim;
 };
@@ -525,6 +541,12 @@ int main(int argc, char** argv) {
         break;
       case FlagId::kNoActivitySched:
         rc.activity_sched = false;
+        break;
+      case FlagId::kGovernor:
+        rc.governor = true;
+        break;
+      case FlagId::kNoGovernor:
+        rc.governor = false;
         break;
       case FlagId::kProfileLoop:
         profile_loop = true;
