@@ -2,7 +2,8 @@
 // cycle loop (fast-forward on and off), a memory-contended co-run with
 // the activity-tracked cycle engine on (loop profiler attached) and off,
 // a live DASE-Fair co-run with the policy governor on vs. off (the ≤2%
-// overhead contract from DESIGN.md §14),
+// overhead contract from DESIGN.md §14), a co-run with the TelemetryHub
+// attached vs. absent (the ≤2% disabled-path contract from DESIGN.md §15),
 // and the wall-clock of a small checkpoint-free sweep run serially vs. on
 // the worker pool, then emits the numbers as a flat JSON object — the
 // repo's BENCH_*.json perf baseline format.  tools/check_perf.sh runs
@@ -32,11 +33,13 @@
 
 #include "bench_util.hpp"
 #include "common/loop_profiler.hpp"
+#include "dase/dase_model.hpp"
 #include "gpu/simulator.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/app_registry.hpp"
 #include "kernels/workload_sets.hpp"
+#include "telemetry/hub.hpp"
 
 namespace {
 
@@ -166,6 +169,60 @@ GovernedResult time_governed_loop(Cycle cycles) {
   return r;
 }
 
+struct TelemetryResult {
+  double on_cycles_per_sec = 0.0;
+  double off_cycles_per_sec = 0.0;
+  double overhead_ratio = 0.0;
+};
+
+/// TelemetryHub attached vs. absent, for the <=2% disabled-path contract
+/// (check_perf.sh, floor 0.98).  "Disabled" is the hub's only state — file
+/// flags never touch the loop — so the honest comparison is an observer
+/// walk with the hub against one without it.  Same alternating-slice,
+/// best-of-three discipline as time_governed_loop: host-load spikes land
+/// on both sides instead of skewing one whole run.
+TelemetryResult time_telemetry_loop(const GpuConfig& cfg, Cycle cycles) {
+  TelemetryResult r;
+  const Cycle slice = std::max<Cycle>(1, cycles / 10);
+  for (int pass = 0; pass < 3; ++pass) {
+    Simulation with_hub(cfg, {AppLaunch{*find_app("VA"), 3001},
+                              AppLaunch{*find_app("SD"), 3002}});
+    Simulation without_hub(cfg, {AppLaunch{*find_app("VA"), 3001},
+                                 AppLaunch{*find_app("SD"), 3002}});
+    DaseModel dase_with;
+    DaseModel dase_without;
+    with_hub.gpu().set_partition(even_partition(with_hub.gpu().num_sms(), 2));
+    without_hub.gpu().set_partition(
+        even_partition(without_hub.gpu().num_sms(), 2));
+    with_hub.add_observer(&dase_with);
+    without_hub.add_observer(&dase_without);
+    TelemetryHub hub({{"DASE", &dase_with}}, [] { return u64{0}; });
+    with_hub.add_observer(&hub);
+
+    with_hub.run(20'000);  // warm the pipelines so timing sees steady state
+    without_hub.run(20'000);
+
+    double on_elapsed = 0.0;
+    double off_elapsed = 0.0;
+    for (Cycle done = 0; done < cycles; done += slice) {
+      const Cycle step = std::min(slice, cycles - done);
+      auto start = std::chrono::steady_clock::now();
+      with_hub.run(step);
+      on_elapsed += seconds_since(start);
+      start = std::chrono::steady_clock::now();
+      without_hub.run(step);
+      off_elapsed += seconds_since(start);
+    }
+    if (on_elapsed <= 0.0 || off_elapsed <= 0.0) continue;
+    const double on_cps = static_cast<double>(cycles) / on_elapsed;
+    const double off_cps = static_cast<double>(cycles) / off_elapsed;
+    r.on_cycles_per_sec = std::max(r.on_cycles_per_sec, on_cps);
+    r.off_cycles_per_sec = std::max(r.off_cycles_per_sec, off_cps);
+    r.overhead_ratio = std::max(r.overhead_ratio, on_cps / off_cps);
+  }
+  return r;
+}
+
 /// Wall-clock of a checkpoint-free sweep over the first `pairs` two-app
 /// workloads with the given worker count.
 double time_sweep(const RunConfig& rc, int pairs, int jobs) {
@@ -220,6 +277,7 @@ int main(int argc, char** argv) {
           : 0.0;
 
   const GovernedResult governed = time_governed_loop(loop_cycles);
+  const TelemetryResult telemetry = time_telemetry_loop(cfg, loop_cycles);
 
   RunConfig rc;
   rc.co_run_cycles = cycles_from_env("BENCH_SWEEP_CYCLES", 60'000);
@@ -266,6 +324,12 @@ int main(int argc, char** argv) {
                governed.off_cycles_per_sec);
   std::fprintf(out, "\"governor_overhead_ratio\": %.4f,\n",
                governed.overhead_ratio);
+  std::fprintf(out, "\"telemetry_on_cycles_per_sec\": %.1f,\n",
+               telemetry.on_cycles_per_sec);
+  std::fprintf(out, "\"telemetry_off_cycles_per_sec\": %.1f,\n",
+               telemetry.off_cycles_per_sec);
+  std::fprintf(out, "\"telemetry_overhead_ratio\": %.4f,\n",
+               telemetry.overhead_ratio);
   std::fprintf(out, "\"sweep_pairs\": %d,\n", sweep_pairs);
   std::fprintf(out, "\"sweep_corun_cycles\": %llu,\n",
                static_cast<unsigned long long>(rc.co_run_cycles));
@@ -293,6 +357,11 @@ int main(int argc, char** argv) {
       "%.0f without (best-pair ratio %.3f)\n",
       governed.on_cycles_per_sec, governed.off_cycles_per_sec,
       governed.overhead_ratio);
+  std::printf(
+      "telemetry VA+SD: %.0f cycles/sec with the hub attached, "
+      "%.0f without (best-pair ratio %.3f)\n",
+      telemetry.on_cycles_per_sec, telemetry.off_cycles_per_sec,
+      telemetry.overhead_ratio);
   if (parallel_meaningful) {
     std::printf("sweep %d pairs: %.3fs serial, %.3fs with %d jobs (%.2fx)\n",
                 sweep_pairs, serial_s, parallel_s, sweep_jobs,

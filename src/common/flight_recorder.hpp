@@ -128,6 +128,10 @@ class FlightRecorder {
   u32 size() const { return count_; }
   /// Events ever recorded, including ones the ring has since evicted.
   u64 total_recorded() const { return total_; }
+  /// Per-partition response-queue high-water mark (telemetry tap).
+  u64 resp_high_water(int part) const {
+    return resp_hw_[static_cast<std::size_t>(part)];
+  }
 
   void record(Cycle cycle, FrEvent kind, int unit, int app, u64 a, u64 b) {
     if (capacity_ == 0) return;

@@ -37,7 +37,11 @@ namespace gpusim {
 // writer's build fingerprint (informational — mismatch is surfaced by
 // --triage, not rejected, since the config/workload fingerprint already
 // gates restorability).
-inline constexpr u32 kSnapshotVersion = 3;
+// Version 4: the TelemetryHub observer ("TELE" section — per-interval
+// records, drained flight-recorder events, drop counters) joined the
+// observer walk of every assembled co-run, so kill+resume reproduces
+// byte-identical telemetry files.
+inline constexpr u32 kSnapshotVersion = 4;
 
 struct SnapshotHeader {
   u32 version = 0;

@@ -23,6 +23,7 @@
 #include "harness/runner.hpp"
 #include "harness/worker_pool.hpp"
 #include "sched/dase_fair.hpp"
+#include "sched/governor.hpp"
 
 namespace gpusim {
 
@@ -109,8 +110,13 @@ std::string chaos_job_json(const ChaosJobResult& r) {
      << escape_json(r.detail) << "\",\"final_cycle\":" << r.final_cycle
      << ",\"retries_issued\":" << r.retries_issued
      << ",\"duplicates_absorbed\":" << r.duplicates_absorbed
-     << ",\"sanitized_estimates\":" << r.sanitized_estimates
-     << ",\"minimized_schedule\":\"" << escape_json(r.minimized_schedule)
+     << ",\"sanitized_estimates\":" << r.sanitized_estimates;
+  // Only anomalous jobs carry the governor counter, so healthy campaign
+  // lines (and old checkpoints) stay byte-identical.
+  if (r.governor_interventions != 0) {
+    ss << ",\"governor_interventions\":" << r.governor_interventions;
+  }
+  ss << ",\"minimized_schedule\":\"" << escape_json(r.minimized_schedule)
      << "\",\"minimized_events\":" << r.minimized_events << ",\"replay\":\""
      << escape_json(r.replay) << "\"}";
   return ss.str();
@@ -277,6 +283,36 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
     r.sanitized_estimates = dase->sanitized_estimates() +
                             mise->sanitized_estimates() +
                             asm_model->sanitized_estimates();
+    r.governor_interventions =
+        assembly.governor ? assembly.governor->interventions() : 0;
+  };
+
+  // Chaos jobs never run alone baselines, so flushed series carry estimate
+  // columns but null actual-slowdown/error columns.  The per-job label
+  // folds in the schedule seed: unique per campaign job, deterministic for
+  // any worker count.
+  auto flush_job_telemetry = [&](bool crashed, const std::string& kind) {
+    if (opts.telemetry_dir.empty()) return;
+    TelemetryPaths paths;
+    paths.dir = opts.telemetry_dir;
+    const std::string label = workload.label() + "-" + r.policy + "-" +
+                              std::to_string(schedule.seed);
+    TelemetryFlushContext ctx;
+    ctx.label = label;
+    for (const KernelProfile& app : workload.apps) ctx.apps.push_back(app.abbr);
+    ctx.estimators = assembly.telemetry_estimators;
+    ctx.interval_length = cfg.estimation_interval;
+    ctx.final_cycle = sim.gpu().now();
+    ctx.crashed = crashed;
+    ctx.crash_kind = kind;
+    ctx.crash_cycle = sim.gpu().now();
+    try {
+      flush_telemetry(*assembly.telemetry, sim.gpu(),
+                      resolve_telemetry_paths(paths, label), ctx);
+    } catch (const SimError& flush_error) {
+      std::fprintf(stderr, "gpusim: chaos telemetry flush failed (%s)\n",
+                   flush_error.what());
+    }
   };
 
   try {
@@ -309,16 +345,19 @@ ChaosJobResult run_chaos_job(const ChaosOptions& opts,
       r.outcome = ChaosOutcome::kGuardCaught;
       r.detail = std::string(e.component()) + ": " + first_line(e.what());
     }
+    flush_job_telemetry(/*crashed=*/true, r.error_kind);
     return r;
   } catch (const std::exception& e) {
     collect();
     r.outcome = ChaosOutcome::kGuardCaught;
     r.error_kind = "exception";
     r.detail = first_line(e.what());
+    flush_job_telemetry(/*crashed=*/true, r.error_kind);
     return r;
   }
 
   collect();
+  flush_job_telemetry(/*crashed=*/false, std::string());
 
   // A stall-forever event that was already active when the budget ran out
   // is a hang the budget merely outpaced: the wedge never clears, the
@@ -368,9 +407,11 @@ FaultSchedule minimize_failing_schedule(const ChaosOptions& opts,
                                         const FaultSchedule& schedule,
                                         ChaosOutcome failure) {
   // Minimization re-runs the failing job dozens of times; bundling every
-  // probe would bury the original bundle, so probes never bundle.
+  // probe would bury the original bundle (and probe telemetry would
+  // overwrite the original job's files), so probes never bundle or flush.
   ChaosOptions probe_opts = opts;
   probe_opts.crash_bundle_dir.clear();
+  probe_opts.telemetry_dir.clear();
   FaultSchedule best = schedule;
   bool shrunk = true;
   while (shrunk && best.events.size() > 1) {

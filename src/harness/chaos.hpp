@@ -91,6 +91,12 @@ struct ChaosOptions {
   /// campaign *expects* failures, so bundling is opt-in; minimization
   /// probes never bundle regardless.
   std::string crash_bundle_dir;
+  /// Telemetry output directory (see telemetry/hub.hpp): when non-empty,
+  /// every job — including guard-caught and hang outcomes — flushes
+  /// per-label JSONL/trace/metrics files under it, named
+  /// "<workload>-<policy>-<schedule seed>" so a campaign's jobs never
+  /// collide.  Minimization probes never flush regardless.
+  std::string telemetry_dir;
 };
 
 struct ChaosJobResult {
@@ -105,6 +111,9 @@ struct ChaosJobResult {
   u64 retries_issued = 0;
   u64 duplicates_absorbed = 0;
   u64 sanitized_estimates = 0;
+  /// Governor clamps/rejects/holds/trips/aborts over the job (emitted in
+  /// the JSONL line only when nonzero, keeping healthy lines byte-stable).
+  u64 governor_interventions = 0;
   /// Minimal reproducer (set when minimization ran on a failing job).
   std::string minimized_schedule;
   std::size_t minimized_events = 0;

@@ -125,6 +125,18 @@ const std::vector<FlagInfo>& flag_table() {
        "the recorded failure cycle, verify the state hash bit-exactly and\n"
        "print the flight-recorder timeline (exit 0 verified, 4 diverged,\n"
        "3 bundle unusable)"},
+      {FlagId::kTelemetryOut, "--telemetry-out", "F|D",
+       "per-interval time-series JSONL: a file for --apps runs, a\n"
+       "directory (per-label / per-job files) for --sweep, --chaos and\n"
+       "--job-file; every record carries estimated vs actual slowdowns,\n"
+       "the Eq. 26 error, partition sizes and memory-system rates"},
+      {FlagId::kTraceOut, "--trace-out", "F",
+       "Chrome trace-event JSON (load in Perfetto / chrome://tracing):\n"
+       "epoch spans per app, migration drain spans, governor and fault\n"
+       "instants, counter tracks (--apps and --triage runs only)"},
+      {FlagId::kMetricsOut, "--metrics-out", "F",
+       "Prometheus-style text metrics snapshot at run end (--apps runs\n"
+       "only)"},
       {FlagId::kDumpConfig, "--dump-config", nullptr,
        "print the default config file and exit"},
       {FlagId::kListApps, "--list-apps", nullptr,

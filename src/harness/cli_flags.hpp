@@ -65,6 +65,9 @@ enum class FlagId {
   kBundleDir,
   kNoBundle,
   kTriage,
+  kTelemetryOut,
+  kTraceOut,
+  kMetricsOut,
   kDumpConfig,
   kListApps,
   kVersion,

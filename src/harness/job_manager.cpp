@@ -169,6 +169,10 @@ std::string job_snapshot_dir(const JobManagerOptions& opts, int index) {
   return opts.snapshot_dir + "/job" + std::to_string(index);
 }
 
+std::string job_telemetry_dir(const JobManagerOptions& opts, int index) {
+  return opts.telemetry_dir + "/job" + std::to_string(index);
+}
+
 std::string engine_checkpoint_path(const JobManagerOptions& opts, int index,
                                    const char* engine) {
   return opts.manifest_path + ".job" + std::to_string(index) + "." + engine +
@@ -202,6 +206,9 @@ RunConfig base_run_config(const JobSpec& spec, const JobManagerOptions& opts,
   rc.cancel = opts.cancel;
   rc.crash_bundle_dir = opts.crash_bundle_dir;
   rc.crash_bundle_mode = "jobs";
+  if (!opts.telemetry_dir.empty()) {
+    rc.telemetry.dir = job_telemetry_dir(opts, spec.index);
+  }
   return rc;
 }
 
@@ -300,6 +307,9 @@ std::string execute_chaos_job(const JobSpec& spec,
   co.cancel = opts.cancel;
   co.wall_deadline = deadline;
   co.crash_bundle_dir = opts.crash_bundle_dir;
+  if (!opts.telemetry_dir.empty()) {
+    co.telemetry_dir = job_telemetry_dir(opts, spec.index);
+  }
   const ChaosReport report = run_chaos_campaign(co);
   for (const ChaosJobResult& job : report.jobs) {
     if (job.json.empty()) {
@@ -330,6 +340,11 @@ std::string result_line(const JobResult& r) {
   std::ostringstream ss;
   ss << "{\"job\":" << r.index << ",\"status\":\"" << to_string(r.status)
      << "\",\"attempts\":" << r.attempts;
+  // Emitted only when the batch ran with telemetry enabled, so manifests of
+  // telemetry-free batches stay byte-identical to previous versions.
+  if (!r.telemetry_dir.empty()) {
+    ss << ",\"telemetry_dir\":\"" << escape_json(r.telemetry_dir) << "\"";
+  }
   if (r.status == JobStatus::kOk) {
     ss << ",\"payload\":" << r.payload_json;
   } else {
@@ -895,6 +910,12 @@ JobBatchReport JobManager::execute(const std::vector<JobSpec>& specs,
           lines.push(r.json);
           seeded[i] = std::move(r);
           return;
+        }
+
+        // Quarantined jobs never ran, so they carry no telemetry paths;
+        // everything past this point flushes files (even on a crash).
+        if (!opts_.telemetry_dir.empty()) {
+          r.telemetry_dir = job_telemetry_dir(opts_, spec.index);
         }
 
         // Attempt loop: transient failures retry with exponential backoff

@@ -133,6 +133,10 @@ struct JobResult {
   /// for run jobs, the per-pair entry array for sweeps, the campaign
   /// report for chaos.
   std::string payload_json;
+  /// Per-job telemetry output directory (set only when the batch runs with
+  /// telemetry enabled; surfaced in the manifest result line so a reader
+  /// can find a job's JSONL/trace/metrics files without re-deriving paths).
+  std::string telemetry_dir;
   /// Canonical manifest result line; resumed jobs carry their stored line
   /// verbatim, which is what makes interrupted + resumed reports
   /// byte-identical to fresh ones.
@@ -176,6 +180,11 @@ struct JobManagerOptions {
   /// crash bundle under this root (see harness/crash_bundle.hpp).  Drains
   /// (kInterrupted) and quarantine refusals never bundle.
   std::string crash_bundle_dir;
+  /// Telemetry output root (see telemetry/hub.hpp): when non-empty, every
+  /// job flushes per-interval JSONL/trace/metrics files under its own
+  /// subdirectory ("<telemetry_dir>/job<index>"), so a batch's jobs never
+  /// collide and an interrupted + resumed batch rewrites identical files.
+  std::string telemetry_dir;
 };
 
 struct JobBatchReport {

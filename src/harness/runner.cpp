@@ -112,6 +112,34 @@ void apply_limits(const RunConfig& rc, Simulation& sim, bool co_run) {
   }
 }
 
+/// Flush-context boilerplate shared by the success and crash paths: naming,
+/// interval length, profiler, and the governor counter breakdown.  The
+/// success path adds the alone-IPC baselines (for actual-slowdown columns)
+/// and the policy repartition count afterwards.
+TelemetryFlushContext telemetry_context_for(const RunConfig& rc,
+                                            const Workload& workload,
+                                            const CoRunAssembly& assembly) {
+  TelemetryFlushContext ctx;
+  ctx.label = workload.label();
+  for (const KernelProfile& app : workload.apps) ctx.apps.push_back(app.abbr);
+  ctx.estimators = assembly.telemetry_estimators;
+  ctx.interval_length = rc.gpu.estimation_interval;
+  ctx.final_cycle = assembly.sim->gpu().now();
+  ctx.profiler = rc.profiler;
+  if (assembly.governor) {
+    const PolicyGovernor& gov = *assembly.governor;
+    ctx.extra_counters = {
+        {"governor_clamps", gov.clamps()},
+        {"governor_rejects", gov.rejects()},
+        {"governor_holds", gov.holds()},
+        {"governor_breaker_trips", gov.breaker_trips()},
+        {"governor_fallbacks", gov.fallbacks()},
+        {"governor_stalls_aborted", gov.stalls_aborted()},
+    };
+  }
+  return ctx;
+}
+
 }  // namespace
 
 TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
@@ -238,15 +266,37 @@ CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
     a.temporal = std::make_unique<TemporalPolicy>(rc.temporal);
     sim.add_cycle_hook(a.temporal.get());
   }
-  // The governor is always the last observer — it must see each epoch
-  // *after* the policies acted — and is attached regardless of rc.governor
-  // so the observer walk and snapshot shape never depend on the flag; a
-  // disabled governor is a pure pass-through.
+  // The governor must see each epoch *after* the policies acted, and is
+  // attached regardless of rc.governor so the observer walk and snapshot
+  // shape never depend on the flag; a disabled governor is a pure
+  // pass-through.
   a.governor = std::make_unique<PolicyGovernor>(
       GovernorOptions::from_config(rc.gpu, rc.governor), a.dase.get());
   sim.add_observer(a.governor.get());
   if (a.fair) a.fair->set_partition_sink(a.governor.get());
   if (a.qos) a.qos->set_partition_sink(a.governor.get());
+  // The telemetry hub is the final observer: each record must capture the
+  // epoch as the policies *and* the governor left it.  Like the governor
+  // it is attached unconditionally — the output flags only gate flushing —
+  // so telemetry on vs. off cannot change the observer walk, the state
+  // hash, or any simulated outcome.
+  std::vector<TelemetryEstimatorTap> taps;
+  if (a.dase) {
+    taps.push_back({"DASE", a.dase.get()});
+    a.telemetry_estimators.push_back("DASE");
+  }
+  if (a.mise) {
+    taps.push_back({"MISE", a.mise.get()});
+    a.telemetry_estimators.push_back("MISE");
+  }
+  if (a.asm_model) {
+    taps.push_back({"ASM", a.asm_model.get()});
+    a.telemetry_estimators.push_back("ASM");
+  }
+  a.telemetry = std::make_unique<TelemetryHub>(
+      std::move(taps),
+      [gov = a.governor.get()] { return gov->interventions(); });
+  sim.add_observer(a.telemetry.get());
   return a;
 }
 
@@ -458,6 +508,27 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
       write_crash_bundle(rc_.crash_bundle_dir, sim, rc_.gpu, e, ctx,
                          have_anchor ? snap_path : std::string());
     }
+    // Flush whatever telemetry was recorded up to the failure point, with
+    // a crash marker and no actual-slowdown columns (the alone baselines
+    // were never measured).  A graceful kInterrupted drain skips this: the
+    // resumed run will flush the complete, byte-identical files instead.
+    if (rc_.telemetry.any() && assembly.telemetry &&
+        e.kind() != SimErrorKind::kInterrupted) {
+      try {
+        TelemetryFlushContext ctx =
+            telemetry_context_for(rc_, workload, assembly);
+        ctx.crashed = true;
+        ctx.crash_kind = to_string(e.kind());
+        ctx.crash_cycle = gpu.now();
+        flush_telemetry(*assembly.telemetry, gpu,
+                        resolve_telemetry_paths(rc_.telemetry,
+                                                workload.label()),
+                        ctx);
+      } catch (const SimError& flush_error) {
+        std::fprintf(stderr, "gpusim: telemetry flush failed (%s)\n",
+                     flush_error.what());
+      }
+    }
     throw;
   }
 
@@ -510,6 +581,9 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   if (assembly.governor) {
     result.governor_interventions = assembly.governor->interventions();
   }
+  if (dase) result.sanitized_estimates += dase->sanitized_estimates();
+  if (mise) result.sanitized_estimates += mise->sanitized_estimates();
+  if (asm_model) result.sanitized_estimates += asm_model->sanitized_estimates();
 
   // DRAM bandwidth decomposition over the co-run.
   const double capacity =
@@ -527,6 +601,19 @@ CoRunResult ExperimentRunner::run(const Workload& workload,
   }
   result.wasted_bw_share = wasted / capacity;
   result.idle_bw_share = idle / capacity;
+
+  // Telemetry flush: now that the alone baselines exist, the per-interval
+  // records can carry actual-slowdown and Eq. 26 error columns.
+  if (rc_.telemetry.any() && assembly.telemetry) {
+    TelemetryFlushContext ctx = telemetry_context_for(rc_, workload, assembly);
+    ctx.repartitions = result.repartitions;
+    for (const AppResult& app : result.apps) {
+      ctx.ipc_alone.push_back(app.ipc_alone);
+    }
+    flush_telemetry(*assembly.telemetry, gpu,
+                    resolve_telemetry_paths(rc_.telemetry, workload.label()),
+                    ctx);
+  }
   return result;
 }
 

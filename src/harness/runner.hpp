@@ -19,6 +19,7 @@
 #include "common/loop_profiler.hpp"
 #include "kernels/workload_sets.hpp"
 #include "sched/policies.hpp"
+#include "telemetry/hub.hpp"
 
 namespace gpusim {
 
@@ -129,6 +130,15 @@ struct RunConfig {
   /// Mode tag recorded in bundle manifests ("run", "sweep", "chaos",
   /// "jobs") so a triage session knows which path assembled the failure.
   std::string crash_bundle_mode = "run";
+
+  // ---- Telemetry (see telemetry/hub.hpp) --------------------------------
+  /// Output paths for the per-interval time series / Chrome trace /
+  /// Prometheus snapshot.  The TelemetryHub observer records regardless
+  /// (its buffers are simulated state, serialized in the SimState walk);
+  /// these paths only decide whether files get flushed at the end of the
+  /// co-run, so enabling them cannot change any simulated outcome.  Batch
+  /// modes set `telemetry.dir` and each unit writes per-label files.
+  TelemetryPaths telemetry;
 };
 
 struct ModelSet {
@@ -184,6 +194,12 @@ struct CoRunAssembly {
   /// Always attached (last observer) so the observer walk has one shape;
   /// pass-through when rc.governor is false.
   std::unique_ptr<PolicyGovernor> governor;
+  /// Always attached (after the governor, so each record sees the epoch's
+  /// final intervention counts); output flags only gate flushing.
+  std::unique_ptr<TelemetryHub> telemetry;
+  /// Tap order the hub was assembled with ("DASE"/"MISE"/"ASM"); the flush
+  /// context must name the estimate columns in exactly this order.
+  std::vector<std::string> telemetry_estimators;
 };
 
 struct TriageContext;
@@ -201,7 +217,8 @@ TriageContext triage_context_of(const RunConfig& rc, const Workload& workload,
 /// `rc`, the fault injector when a schedule is armed, the SM partition for
 /// the policy/split, and the model/policy observers in canonical
 /// registration order (dase, mise, asm, epochs, fair, qos, temporal,
-/// governor last — the order Simulation::load expects back).  Shared by the runner, the chaos
+/// governor, telemetry hub last — the order Simulation::load expects
+/// back).  Shared by the runner, the chaos
 /// engine and --triage so a restored snapshot always meets an identically
 /// assembled experiment.
 CoRunAssembly assemble_corun(const RunConfig& rc, const Workload& workload,
@@ -232,6 +249,7 @@ struct CoRunResult {
   double idle_bw_share = 0.0;
   u64 repartitions = 0;  // policy actions (migrations/switches/adjustments)
   u64 governor_interventions = 0;  // clamps + rejects + holds + trips + aborts
+  u64 sanitized_estimates = 0;  // estimator outputs clamped, Σ over models
 
   double mean_error_of(const std::string& model) const;
 };

@@ -12,6 +12,7 @@
 #include "harness/crash_bundle.hpp"
 #include "harness/runner.hpp"
 #include "kernels/app_registry.hpp"
+#include "telemetry/hub.hpp"
 
 namespace gpusim {
 
@@ -20,7 +21,8 @@ namespace {
 namespace fs = std::filesystem;
 
 /// The whole flow, throwing typed errors; run_triage wraps it.
-int triage_impl(const std::string& bundle_dir, std::ostream& out) {
+int triage_impl(const std::string& bundle_dir, std::ostream& out,
+                const std::string& trace_out) {
   const CrashBundleManifest m = read_crash_bundle_manifest(bundle_dir);
 
   out << "triage: " << bundle_dir << "\n";
@@ -141,6 +143,21 @@ int triage_impl(const std::string& bundle_dir, std::ostream& out) {
   if (!reproduced.empty()) {
     out << "  reproduced: " << reproduced << "\n";
   }
+  if (!trace_out.empty()) {
+    // The restored TELE section holds the crashed run's recorded history,
+    // so this trace shows the intervals and events leading to the failure.
+    TelemetryFlushContext ctx;
+    ctx.label = m.ctx.label;
+    ctx.apps = m.ctx.apps;
+    ctx.estimators = assembly.telemetry_estimators;
+    ctx.interval_length = rc.gpu.estimation_interval;
+    ctx.final_cycle = sim.gpu().now();
+    ctx.crashed = true;
+    ctx.crash_kind = m.error_kind;
+    ctx.crash_cycle = m.failure_cycle;
+    write_trace_json(trace_out, *assembly.telemetry, ctx);
+    out << "  trace exported to " << trace_out << "\n";
+  }
   out << "\n" << sim.gpu().flight_recorder().render_timeline(48) << "\n";
   out << "  recorded state hash:   0x" << std::hex << m.failure_state_hash
       << "\n  replayed state hash:   0x" << sim.state_hash() << std::dec
@@ -159,9 +176,10 @@ int triage_impl(const std::string& bundle_dir, std::ostream& out) {
 
 }  // namespace
 
-int run_triage(const std::string& bundle_dir, std::ostream& out) {
+int run_triage(const std::string& bundle_dir, std::ostream& out,
+               const std::string& trace_out) {
   try {
-    return triage_impl(bundle_dir, out);
+    return triage_impl(bundle_dir, out, trace_out);
   } catch (const SimError& e) {
     out << "triage: cannot triage " << bundle_dir << ":\n" << e.what()
         << "\n";

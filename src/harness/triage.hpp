@@ -17,12 +17,19 @@ namespace gpusim {
 /// report (manifest summary, replay outcome, the final flight-recorder
 /// timeline) to `out`.  Never throws.
 ///
+/// When `trace_out` is non-empty, the replayed run's telemetry hub — whose
+/// buffers the bundle snapshot restored, so they hold the crashed run's
+/// actual history — is additionally exported as a Chrome trace-event file
+/// there (load it in Perfetto to scrub through the run leading up to the
+/// failure).
+///
 /// Exit codes:
 ///   0 — state hash reproduced exactly
 ///   3 — the bundle could not be triaged (corrupt/incomplete bundle,
 ///       unknown apps, config/fingerprint mismatch, I/O failure)
 ///   4 — replay completed but the final state hash diverged from the
 ///       recorded one (non-deterministic failure or build drift)
-int run_triage(const std::string& bundle_dir, std::ostream& out);
+int run_triage(const std::string& bundle_dir, std::ostream& out,
+               const std::string& trace_out = "");
 
 }  // namespace gpusim

@@ -1,6 +1,7 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace gpusim {
 
@@ -23,15 +24,21 @@ double harmonic_speedup(std::span<const double> slowdowns) {
 }
 
 double estimation_error(double estimated, double actual) {
-  assert(actual > 0.0);
+  if (!std::isfinite(estimated) || !std::isfinite(actual) || actual <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return std::abs(estimated - actual) / actual;
 }
 
 double mean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
   double sum = 0.0;
-  for (double v : values) sum += v;
-  return sum / static_cast<double>(values.size());
+  std::size_t n = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 }  // namespace gpusim

@@ -16,9 +16,15 @@ double unfairness(std::span<const double> slowdowns);
 double harmonic_speedup(std::span<const double> slowdowns);
 
 /// Eq. 26: |estimated - actual| / actual, as a fraction (0.088 = 8.8%).
+/// Returns quiet NaN when the error is undefined — `actual` non-positive
+/// (a starved or unmeasured app has no meaningful baseline) or either
+/// argument non-finite — so callers can detect-and-skip instead of
+/// dividing by zero or silently propagating garbage.
 double estimation_error(double estimated, double actual);
 
-/// Arithmetic mean of a sample set (0 when empty).
+/// Arithmetic mean of the *finite* samples (0 when none are).  NaN/Inf
+/// entries — e.g. error columns for intervals with no baseline — are
+/// skipped rather than poisoning the aggregate.
 double mean(std::span<const double> values);
 
 }  // namespace gpusim

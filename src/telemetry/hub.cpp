@@ -1,0 +1,702 @@
+#include "telemetry/hub.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/sim_error.hpp"
+#include "gpu/gpu.hpp"
+#include "mem/dram.hpp"
+#include "mem/partition.hpp"
+#include "metrics/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+namespace gpusim {
+
+namespace {
+
+std::string fmt_double(double v) { return MetricsRegistry::fmt(v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Atomic publish: write `<path>.tmp`, fsync-free rename over the target.
+/// Parent directories are created on demand so batch modes can point all
+/// units at one fresh directory.
+void atomic_write(const std::string& path, const std::string& content) {
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    SIM_CHECK(out.good(), SimError(SimErrorKind::kHarness, "telemetry.hub",
+                                   "cannot open telemetry file for writing")
+                              .detail("path", tmp));
+    out << content;
+    out.flush();
+    SIM_CHECK(out.good(), SimError(SimErrorKind::kHarness, "telemetry.hub",
+                                   "short write while flushing telemetry")
+                              .detail("path", tmp));
+  }
+  std::filesystem::rename(tmp, target, ec);
+  SIM_CHECK(!ec, SimError(SimErrorKind::kHarness, "telemetry.hub",
+                          "atomic rename of telemetry file failed")
+                     .detail("from", tmp)
+                     .detail("to", path)
+                     .detail("error", ec.message()));
+}
+
+}  // namespace
+
+void TelemetryHub::on_interval(const IntervalSample& sample, Gpu& gpu) {
+  ++epochs_seen_;
+
+  // Drain the flight recorder through its lifetime counter.  Events the
+  // bounded ring already evicted between interval boundaries (or that spill
+  // over our own cap) are counted, never silently lost.
+  const FlightRecorder& fr = gpu.flight_recorder();
+  if (fr.total_recorded() != fr_seen_) {
+    const u64 fresh = fr.total_recorded() - fr_seen_;
+    const std::vector<FlightEvent> held = fr.events_in_order();
+    const u64 have = std::min<u64>(fresh, held.size());
+    trace_events_dropped_ += fresh - have;
+    for (std::size_t i = held.size() - static_cast<std::size_t>(have);
+         i < held.size(); ++i) {
+      const FlightEvent& e = held[i];
+      ++fr_kind_counts_[static_cast<std::size_t>(e.kind)];
+      if (trace_events_.size() < kMaxTraceEvents) {
+        trace_events_.push_back(e);
+      } else {
+        ++trace_events_dropped_;
+      }
+    }
+    fr_seen_ = fr.total_recorded();
+  }
+
+  if (records_.size() >= kMaxRecords) {
+    ++records_dropped_;
+    return;
+  }
+
+  TelemetryRecord rec;
+  rec.epoch = epochs_seen_ - 1;
+  rec.start = sample.start;
+  rec.length = sample.length;
+  rec.migration_in_progress = gpu.migration_in_progress();
+  rec.governor_interventions =
+      governor_interventions_ ? governor_interventions_() : 0;
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const McCounters& mcc = gpu.partition(p).mc().counters();
+    rec.dram_requests += mcc.requests_served.grand_total();
+    rec.dram_row_hits += mcc.row_hits.grand_total();
+    rec.dram_row_misses += mcc.row_misses.grand_total();
+    rec.dram_bus_data_cycles += mcc.bus_data_cycles.grand_total();
+    rec.resp_queue_high_water.push_back(fr.resp_high_water(p));
+  }
+  rec.apps.reserve(sample.apps.size());
+  for (std::size_t i = 0; i < sample.apps.size(); ++i) {
+    const AppIntervalData& ad = sample.apps[i];
+    TelemetryAppSample as;
+    as.instructions = ad.instructions;
+    as.requests_served = ad.requests_served;
+    as.l2_accesses = ad.l2_accesses;
+    as.l2_hits = ad.l2_hits;
+    as.num_sms = ad.num_sms;
+    as.alpha = ad.alpha;
+    as.estimates.reserve(taps_.size());
+    for (const TelemetryEstimatorTap& tap : taps_) {
+      TelemetryEstimateSample es;
+      const std::vector<SlowdownEstimate>& latest = tap.estimator->latest();
+      if (i < latest.size()) {
+        es.valid = latest[i].valid;
+        es.slowdown = latest[i].slowdown_all;
+      }
+      as.estimates.push_back(es);
+    }
+    rec.apps.push_back(std::move(as));
+  }
+  records_.push_back(std::move(rec));
+}
+
+void TelemetryHub::load_state(StateReader& r) {
+  r.expect_tag("TELE");
+  epochs_seen_ = r.get_u64();
+  records_dropped_ = r.get_u64();
+  const u64 nrec = r.get_count(kMaxRecords, "telemetry records");
+  records_.clear();
+  records_.reserve(static_cast<std::size_t>(nrec));
+  for (u64 i = 0; i < nrec; ++i) {
+    TelemetryRecord rec;
+    rec.epoch = r.get_u64();
+    rec.start = r.get_u64();
+    rec.length = r.get_u64();
+    rec.dram_requests = r.get_u64();
+    rec.dram_row_hits = r.get_u64();
+    rec.dram_row_misses = r.get_u64();
+    rec.dram_bus_data_cycles = r.get_u64();
+    rec.governor_interventions = r.get_u64();
+    rec.migration_in_progress = r.get_bool();
+    const u32 nparts = r.get_u32();
+    rec.resp_queue_high_water.resize(nparts);
+    for (u64& v : rec.resp_queue_high_water) v = r.get_u64();
+    const u32 napps = r.get_u32();
+    rec.apps.resize(napps);
+    for (TelemetryAppSample& a : rec.apps) {
+      a.instructions = r.get_u64();
+      a.requests_served = r.get_u64();
+      a.l2_accesses = r.get_u64();
+      a.l2_hits = r.get_u64();
+      a.num_sms = r.get_i32();
+      a.alpha = r.get_double();
+      const u32 nest = r.get_u32();
+      a.estimates.resize(nest);
+      for (TelemetryEstimateSample& e : a.estimates) {
+        e.valid = r.get_bool();
+        e.slowdown = r.get_double();
+      }
+    }
+    records_.push_back(std::move(rec));
+  }
+  fr_seen_ = r.get_u64();
+  trace_events_dropped_ = r.get_u64();
+  for (u64& v : fr_kind_counts_) v = r.get_u64();
+  const u64 nev = r.get_count(kMaxTraceEvents, "telemetry trace events");
+  trace_events_.clear();
+  trace_events_.reserve(static_cast<std::size_t>(nev));
+  for (u64 i = 0; i < nev; ++i) {
+    FlightEvent e;
+    e.cycle = r.get_u64();
+    const u8 kind = r.get_u8();
+    SIM_CHECK(kind < kNumFrEvents,
+              SimError(SimErrorKind::kSnapshot, "telemetry.hub",
+                       "unknown event kind in telemetry buffer")
+                  .detail("kind", static_cast<int>(kind)));
+    e.kind = static_cast<FrEvent>(kind);
+    e.unit = r.get_i32();
+    e.app = r.get_i32();
+    e.a = r.get_u64();
+    e.b = r.get_u64();
+    trace_events_.push_back(e);
+  }
+}
+
+std::string telemetry_file_for(const std::string& dir, const std::string& label,
+                               const std::string& suffix) {
+  std::string name;
+  name.reserve(label.size());
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    name.push_back(ok ? c : '_');
+  }
+  return dir + "/" + name + suffix;
+}
+
+TelemetryPaths resolve_telemetry_paths(const TelemetryPaths& paths,
+                                       const std::string& label) {
+  TelemetryPaths out = paths;
+  if (!paths.dir.empty()) {
+    out.series = telemetry_file_for(paths.dir, label, ".telemetry.jsonl");
+    out.trace = telemetry_file_for(paths.dir, label, ".trace.json");
+    out.metrics = telemetry_file_for(paths.dir, label, ".metrics.prom");
+    out.dir.clear();
+  }
+  return out;
+}
+
+namespace {
+
+/// Interval "actual" slowdown: alone IPC over this interval's shared IPC.
+/// Returns NaN when the baseline is unknown or the app issued nothing.
+double interval_actual_slowdown(const TelemetryAppSample& a,
+                                const TelemetryRecord& r,
+                                const TelemetryFlushContext& ctx,
+                                std::size_t app) {
+  if (app >= ctx.ipc_alone.size() || r.length == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double ipc_shared =
+      static_cast<double>(a.instructions) / static_cast<double>(r.length);
+  if (ipc_shared <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return ctx.ipc_alone[app] / ipc_shared;
+}
+
+void append_number_or_null(std::ostringstream& ss, double v) {
+  if (std::isfinite(v)) {
+    ss << fmt_double(v);
+  } else {
+    ss << "null";
+  }
+}
+
+}  // namespace
+
+void write_telemetry_jsonl(const std::string& path, const TelemetryHub& hub,
+                           const TelemetryFlushContext& ctx) {
+  std::ostringstream ss;
+  ss << "{\"schema\":\"gpusim-telemetry-v1\",\"label\":\""
+     << json_escape(ctx.label) << "\",\"interval\":" << ctx.interval_length
+     << ",\"final_cycle\":" << ctx.final_cycle << ",\"apps\":[";
+  for (std::size_t i = 0; i < ctx.apps.size(); ++i) {
+    ss << (i ? "," : "") << '"' << json_escape(ctx.apps[i]) << '"';
+  }
+  ss << "],\"estimators\":[";
+  for (std::size_t i = 0; i < ctx.estimators.size(); ++i) {
+    ss << (i ? "," : "") << '"' << json_escape(ctx.estimators[i]) << '"';
+  }
+  ss << "],\"records\":" << hub.records().size()
+     << ",\"records_dropped\":" << hub.records_dropped()
+     << ",\"trace_events_dropped\":" << hub.trace_events_dropped();
+  if (ctx.crashed) {
+    ss << ",\"crashed\":true,\"crash_kind\":\"" << json_escape(ctx.crash_kind)
+       << "\",\"crash_cycle\":" << ctx.crash_cycle;
+  }
+  ss << "}\n";
+
+  const TelemetryRecord* prev = nullptr;
+  for (const TelemetryRecord& r : hub.records()) {
+    const u64 p_bus = prev ? prev->dram_bus_data_cycles : 0;
+    const u64 p_hits = prev ? prev->dram_row_hits : 0;
+    const u64 p_miss = prev ? prev->dram_row_misses : 0;
+    const u64 p_req = prev ? prev->dram_requests : 0;
+    const u64 p_gov = prev ? prev->governor_interventions : 0;
+    const u64 d_hits = r.dram_row_hits - p_hits;
+    const u64 d_miss = r.dram_row_misses - p_miss;
+    const std::size_t nparts = r.resp_queue_high_water.size();
+    const double bw_util =
+        (r.length == 0 || nparts == 0)
+            ? 0.0
+            : static_cast<double>(r.dram_bus_data_cycles - p_bus) /
+                  (static_cast<double>(r.length) * static_cast<double>(nparts));
+    ss << "{\"epoch\":" << r.epoch << ",\"start\":" << r.start
+       << ",\"length\":" << r.length << ",\"migration\":"
+       << (r.migration_in_progress ? "true" : "false")
+       << ",\"governor_interventions\":" << r.governor_interventions
+       << ",\"governor_interventions_delta\":"
+       << (r.governor_interventions - p_gov)
+       << ",\"dram_requests_delta\":" << (r.dram_requests - p_req)
+       << ",\"dram_bw_util\":" << fmt_double(bw_util)
+       << ",\"dram_row_hit_rate\":";
+    if (d_hits + d_miss == 0) {
+      ss << "null";
+    } else {
+      ss << fmt_double(static_cast<double>(d_hits) /
+                       static_cast<double>(d_hits + d_miss));
+    }
+    ss << ",\"resp_queue_high_water\":[";
+    for (std::size_t p = 0; p < nparts; ++p) {
+      ss << (p ? "," : "") << r.resp_queue_high_water[p];
+    }
+    ss << "],\"apps\":[";
+    for (std::size_t i = 0; i < r.apps.size(); ++i) {
+      const TelemetryAppSample& a = r.apps[i];
+      const double ipc = r.length == 0
+                             ? 0.0
+                             : static_cast<double>(a.instructions) /
+                                   static_cast<double>(r.length);
+      ss << (i ? "," : "") << "{\"app\":\""
+         << (i < ctx.apps.size() ? json_escape(ctx.apps[i]) : std::to_string(i))
+         << "\",\"sms\":" << a.num_sms << ",\"instructions\":" << a.instructions
+         << ",\"ipc\":" << fmt_double(ipc)
+         << ",\"alpha\":" << fmt_double(a.alpha) << ",\"l2_miss_rate\":";
+      if (a.l2_accesses == 0) {
+        ss << "null";
+      } else {
+        ss << fmt_double(1.0 - static_cast<double>(a.l2_hits) /
+                                   static_cast<double>(a.l2_accesses));
+      }
+      const double actual = interval_actual_slowdown(a, r, ctx, i);
+      ss << ",\"actual_slowdown\":";
+      append_number_or_null(ss, actual);
+      ss << ",\"estimates\":{";
+      for (std::size_t e = 0; e < a.estimates.size(); ++e) {
+        ss << (e ? "," : "") << '"'
+           << (e < ctx.estimators.size() ? json_escape(ctx.estimators[e])
+                                         : std::to_string(e))
+           << "\":";
+        if (a.estimates[e].valid) {
+          ss << fmt_double(a.estimates[e].slowdown);
+        } else {
+          ss << "null";
+        }
+      }
+      ss << "},\"error\":{";
+      for (std::size_t e = 0; e < a.estimates.size(); ++e) {
+        ss << (e ? "," : "") << '"'
+           << (e < ctx.estimators.size() ? json_escape(ctx.estimators[e])
+                                         : std::to_string(e))
+           << "\":";
+        const double err = a.estimates[e].valid
+                               ? estimation_error(a.estimates[e].slowdown,
+                                                  actual)
+                               : std::numeric_limits<double>::quiet_NaN();
+        append_number_or_null(ss, err);
+      }
+      ss << "}}";
+    }
+    ss << "]}\n";
+    prev = &r;
+  }
+  atomic_write(path, ss.str());
+}
+
+namespace {
+
+// Trace-track layout (DESIGN.md §15): one process, fixed thread ids.
+constexpr int kTidGovernor = 1;
+constexpr int kTidMigration = 2;
+constexpr int kTidFaults = 3;
+constexpr int kTidMemory = 4;
+constexpr int kTidAppBase = 10;  ///< app i lives on tid kTidAppBase + i
+
+void trace_meta(std::ostringstream& ss, int tid, const std::string& name) {
+  ss << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name)
+     << "\"}}";
+}
+
+int trace_tid_for(const FlightEvent& e) {
+  switch (e.kind) {
+    case FrEvent::kGovClamp:
+    case FrEvent::kGovProposalRejected:
+    case FrEvent::kGovLowConfidenceHold:
+    case FrEvent::kGovBreakerTrip:
+    case FrEvent::kGovFallbackEven:
+    case FrEvent::kGovMigrationAbort:
+      return kTidGovernor;
+    case FrEvent::kMigrationRequested:
+    case FrEvent::kMigrationHandover:
+    case FrEvent::kMigrationComplete:
+      return kTidMigration;
+    case FrEvent::kFaultDropResp:
+    case FrEvent::kFaultDropReq:
+    case FrEvent::kFaultNack:
+    case FrEvent::kFaultMisroute:
+    case FrEvent::kFaultCorrupt:
+      return kTidFaults;
+    case FrEvent::kRespHighWater:
+    case FrEvent::kDeferHighWater:
+    case FrEvent::kXbarReqStall:
+    case FrEvent::kXbarRespStall:
+      return kTidMemory;
+    case FrEvent::kBlockDispatch:
+    case FrEvent::kMshrRetry:
+    case FrEvent::kMshrExhausted:
+      return e.app >= 0 ? kTidAppBase + e.app : kTidMemory;
+  }
+  return kTidMemory;
+}
+
+}  // namespace
+
+void write_trace_json(const std::string& path, const TelemetryHub& hub,
+                      const TelemetryFlushContext& ctx) {
+  // One simulated cycle maps to one microsecond of trace time, so the
+  // Perfetto timeline reads directly in cycles.
+  std::ostringstream ss;
+  ss << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+     << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":"
+     << "\"gpusim " << json_escape(ctx.label) << "\"}}";
+  trace_meta(ss, kTidGovernor, "governor");
+  trace_meta(ss, kTidMigration, "sm-migration");
+  trace_meta(ss, kTidFaults, "fault-injection");
+  trace_meta(ss, kTidMemory, "memory-system");
+  for (std::size_t i = 0; i < ctx.apps.size(); ++i) {
+    trace_meta(ss, kTidAppBase + static_cast<int>(i),
+               "app" + std::to_string(i) + " " + ctx.apps[i]);
+  }
+
+  // Epoch spans: one complete ("X") span per app per interval, carrying the
+  // per-epoch sample as args, plus process-wide counter tracks.
+  for (const TelemetryRecord& r : hub.records()) {
+    for (std::size_t i = 0; i < r.apps.size(); ++i) {
+      const TelemetryAppSample& a = r.apps[i];
+      const double ipc = r.length == 0
+                             ? 0.0
+                             : static_cast<double>(a.instructions) /
+                                   static_cast<double>(r.length);
+      ss << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << (kTidAppBase + static_cast<int>(i)) << ",\"ts\":" << r.start
+         << ",\"dur\":" << r.length << ",\"name\":\"epoch " << r.epoch
+         << "\",\"args\":{\"sms\":" << a.num_sms
+         << ",\"ipc\":" << fmt_double(ipc);
+      for (std::size_t e = 0;
+           e < a.estimates.size() && e < ctx.estimators.size(); ++e) {
+        if (!a.estimates[e].valid) continue;
+        ss << ",\"est_" << json_escape(ctx.estimators[e])
+           << "\":" << fmt_double(a.estimates[e].slowdown);
+      }
+      ss << "}}";
+    }
+    ss << ",\n{\"ph\":\"C\",\"pid\":1,\"ts\":" << (r.start + r.length)
+       << ",\"name\":\"sms\",\"args\":{";
+    for (std::size_t i = 0; i < r.apps.size(); ++i) {
+      ss << (i ? "," : "") << '"'
+         << (i < ctx.apps.size() ? json_escape(ctx.apps[i]) : std::to_string(i))
+         << "\":" << r.apps[i].num_sms;
+    }
+    ss << "}}";
+    ss << ",\n{\"ph\":\"C\",\"pid\":1,\"ts\":" << (r.start + r.length)
+       << ",\"name\":\"governor_interventions\",\"args\":{\"count\":"
+       << r.governor_interventions << "}}";
+  }
+
+  // Flight-recorder events: migration request/complete pairs become drain
+  // spans on the migration track; everything else is an instant on its
+  // track.  The FrEvent vocabulary here is exactly the crash-timeline one.
+  Cycle drain_start = 0;
+  u64 drain_sms = 0;
+  bool drain_open = false;
+  for (const FlightEvent& e : hub.trace_events()) {
+    if (e.kind == FrEvent::kMigrationRequested) {
+      drain_open = true;
+      drain_start = e.cycle;
+      drain_sms = e.a;
+      continue;
+    }
+    if (e.kind == FrEvent::kMigrationComplete) {
+      const Cycle ts = drain_open ? drain_start : e.cycle;
+      ss << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << kTidMigration
+         << ",\"ts\":" << ts << ",\"dur\":" << (e.cycle - ts)
+         << ",\"name\":\"migration drain\",\"args\":{\"sms_changing\":"
+         << drain_sms << "}}";
+      drain_open = false;
+      continue;
+    }
+    ss << ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":" << trace_tid_for(e)
+       << ",\"ts\":" << e.cycle << ",\"s\":\"t\",\"name\":\""
+       << to_string(e.kind) << "\",\"args\":{";
+    if (e.unit >= 0) ss << "\"unit\":" << e.unit << ",";
+    if (e.app >= 0) ss << "\"app\":" << e.app << ",";
+    ss << "\"a\":" << e.a << ",\"b\":" << e.b << "}}";
+  }
+  if (drain_open) {
+    ss << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << kTidMigration
+       << ",\"ts\":" << drain_start
+       << ",\"dur\":" << (ctx.final_cycle - drain_start)
+       << ",\"name\":\"migration drain (unfinished)\",\"args\":"
+       << "{\"sms_changing\":" << drain_sms << "}}";
+  }
+
+  // Loop-profiler buckets merged in as counter tracks at end-of-run.
+  if (ctx.profiler != nullptr) {
+    ss << ",\n{\"ph\":\"C\",\"pid\":1,\"ts\":" << ctx.final_cycle
+       << ",\"name\":\"loop_profiler_ns\",\"args\":{";
+    for (int p = 0; p < LoopProfiler::kNumPhases; ++p) {
+      ss << (p ? "," : "") << '"' << LoopProfiler::phase_key(p)
+         << "\":" << ctx.profiler->ns(static_cast<LoopProfiler::Phase>(p));
+    }
+    ss << "}}";
+  }
+
+  if (ctx.crashed) {
+    ss << ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":" << kTidMemory
+       << ",\"ts\":" << ctx.crash_cycle
+       << ",\"s\":\"g\",\"name\":\"CRASH " << json_escape(ctx.crash_kind)
+       << "\",\"args\":{}}";
+  }
+
+  ss << "\n]}\n";
+  atomic_write(path, ss.str());
+}
+
+void collect_metrics(MetricsRegistry& reg, const TelemetryHub& hub,
+                     const Gpu& gpu, const TelemetryFlushContext& ctx) {
+  // Registration order here IS the file order — append-only by contract.
+  reg.gauge("gpusim_cycles", "", "simulated cycles at flush") =
+      static_cast<double>(gpu.now());
+  reg.counter("gpusim_intervals_total", "", "estimation intervals completed") =
+      static_cast<double>(hub.epochs_seen());
+  reg.counter("gpusim_telemetry_records_dropped_total", "",
+              "per-interval records beyond the hub buffer cap") =
+      static_cast<double>(hub.records_dropped());
+  reg.counter("gpusim_telemetry_trace_events_dropped_total", "",
+              "flight-recorder events evicted before drain or over cap") =
+      static_cast<double>(hub.trace_events_dropped());
+
+  const TelemetryRecord* last =
+      hub.records().empty() ? nullptr : &hub.records().back();
+  for (int a = 0; a < gpu.num_apps(); ++a) {
+    const std::string label =
+        "app=\"" + (static_cast<std::size_t>(a) < ctx.apps.size()
+                        ? json_escape(ctx.apps[a])
+                        : std::to_string(a)) +
+        "\"";
+    reg.counter("gpusim_app_instructions_total", label,
+                "warp instructions issued per app") =
+        static_cast<double>(gpu.instructions().total(a));
+    reg.gauge("gpusim_app_sms", label, "SMs assigned at the last interval") =
+        last != nullptr && static_cast<std::size_t>(a) < last->apps.size()
+            ? static_cast<double>(last->apps[a].num_sms)
+            : 0.0;
+    reg.gauge("gpusim_app_ipc_shared", label, "whole-run shared IPC") =
+        gpu.now() == 0 ? 0.0
+                       : static_cast<double>(gpu.instructions().total(a)) /
+                             static_cast<double>(gpu.now());
+  }
+
+  u64 dram_requests = 0, row_hits = 0, row_misses = 0, bus_data = 0;
+  u64 wasted = 0, idle = 0;
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const McCounters& mcc = gpu.partition(p).mc().counters();
+    dram_requests += mcc.requests_served.grand_total();
+    row_hits += mcc.row_hits.grand_total();
+    row_misses += mcc.row_misses.grand_total();
+    bus_data += mcc.bus_data_cycles.grand_total();
+    wasted += mcc.wasted_cycles.total();
+    idle += mcc.idle_cycles.total();
+  }
+  reg.counter("gpusim_dram_requests_total", "", "DRAM requests served") =
+      static_cast<double>(dram_requests);
+  reg.counter("gpusim_dram_row_hits_total", "", "row-buffer hits") =
+      static_cast<double>(row_hits);
+  reg.counter("gpusim_dram_row_misses_total", "", "row-buffer misses") =
+      static_cast<double>(row_misses);
+  reg.counter("gpusim_dram_bus_data_cycles_total", "",
+              "bus cycles moving data") = static_cast<double>(bus_data);
+  reg.counter("gpusim_dram_bus_wasted_cycles_total", "",
+              "bus idle with timing work in flight") =
+      static_cast<double>(wasted);
+  reg.counter("gpusim_dram_bus_idle_cycles_total", "",
+              "bus idle with nothing in flight") = static_cast<double>(idle);
+
+  for (int p = 0; p < gpu.num_partitions(); ++p) {
+    const std::string label = "partition=\"" + std::to_string(p) + "\"";
+    const PartitionCounters& pc = gpu.partition(p).counters();
+    reg.counter("gpusim_l2_accesses_total", label, "L2 accesses") =
+        static_cast<double>(pc.l2_accesses.grand_total());
+    reg.counter("gpusim_l2_hits_total", label, "L2 hits") =
+        static_cast<double>(pc.l2_hits.grand_total());
+    reg.gauge("gpusim_resp_queue_high_water", label,
+              "response-queue occupancy high-water mark") =
+        static_cast<double>(gpu.flight_recorder().resp_high_water(p));
+  }
+
+  for (u8 k = 0; k < kNumFrEvents; ++k) {
+    const FrEvent e = static_cast<FrEvent>(k);
+    reg.counter("gpusim_events_total",
+                std::string("kind=\"") + to_string(e) + "\"",
+                "flight-recorder events drained by the telemetry hub") =
+        static_cast<double>(hub.fr_kind_count(e));
+  }
+
+  for (std::size_t t = 0; t < hub.taps().size(); ++t) {
+    const TelemetryEstimatorTap& tap = hub.taps()[t];
+    const std::string est =
+        t < ctx.estimators.size() ? ctx.estimators[t] : tap.name;
+    const std::string elabel = "estimator=\"" + json_escape(est) + "\"";
+    reg.counter("gpusim_estimator_intervals_total", elabel,
+                "intervals the estimator has observed") =
+        static_cast<double>(tap.estimator->intervals_seen());
+    reg.counter("gpusim_estimator_sanitized_total", elabel,
+                "estimates clamped by the sanitizer") =
+        static_cast<double>(tap.estimator->sanitized_estimates());
+    for (int a = 0; a < gpu.num_apps(); ++a) {
+      const std::string label =
+          elabel + ",app=\"" +
+          (static_cast<std::size_t>(a) < ctx.apps.size()
+               ? json_escape(ctx.apps[a])
+               : std::to_string(a)) +
+          "\"";
+      reg.gauge("gpusim_estimator_mean_slowdown", label,
+                "post-warmup mean estimated slowdown") =
+          tap.estimator->mean_slowdown(a);
+    }
+  }
+
+  reg.counter("gpusim_repartitions_total", "", "SM repartitions applied") =
+      static_cast<double>(ctx.repartitions);
+  for (const auto& [name, value] : ctx.extra_counters) {
+    reg.counter("gpusim_" + name + "_total", "",
+                "harness-provided counter (see DESIGN.md §15)") =
+        static_cast<double>(value);
+  }
+
+  // Distribution views over the recorded epochs.
+  for (std::size_t a = 0; a < (hub.records().empty()
+                                   ? std::size_t{0}
+                                   : hub.records().front().apps.size());
+       ++a) {
+    const std::string app_name = a < ctx.apps.size()
+                                     ? json_escape(ctx.apps[a])
+                                     : std::to_string(a);
+    MetricsRegistry::Metric& ipc_hist = reg.histogram(
+        "gpusim_interval_ipc", "app=\"" + app_name + "\"",
+        "per-interval shared IPC", {0.25, 0.5, 1, 2, 4, 8, 16, 32});
+    for (const TelemetryRecord& r : hub.records()) {
+      if (a >= r.apps.size() || r.length == 0) continue;
+      MetricsRegistry::observe(
+          ipc_hist, static_cast<double>(r.apps[a].instructions) /
+                        static_cast<double>(r.length));
+    }
+    for (std::size_t e = 0; e < ctx.estimators.size(); ++e) {
+      MetricsRegistry::Metric& err_hist = reg.histogram(
+          "gpusim_estimation_error",
+          "app=\"" + app_name + "\",estimator=\"" +
+              json_escape(ctx.estimators[e]) + "\"",
+          "per-interval Eq. 26 relative error",
+          {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5});
+      for (const TelemetryRecord& r : hub.records()) {
+        if (a >= r.apps.size() || e >= r.apps[a].estimates.size()) continue;
+        if (!r.apps[a].estimates[e].valid) continue;
+        const double actual = interval_actual_slowdown(r.apps[a], r, ctx, a);
+        const double err =
+            estimation_error(r.apps[a].estimates[e].slowdown, actual);
+        if (std::isfinite(err)) MetricsRegistry::observe(err_hist, err);
+      }
+    }
+  }
+}
+
+void write_metrics_prom(const std::string& path, const TelemetryHub& hub,
+                        const Gpu& gpu, const TelemetryFlushContext& ctx) {
+  MetricsRegistry reg;
+  collect_metrics(reg, hub, gpu, ctx);
+  std::ostringstream ss;
+  reg.render(ss);
+  atomic_write(path, ss.str());
+}
+
+void flush_telemetry(const TelemetryHub& hub, const Gpu& gpu,
+                     const TelemetryPaths& resolved,
+                     const TelemetryFlushContext& ctx) {
+  if (!resolved.series.empty()) {
+    write_telemetry_jsonl(resolved.series, hub, ctx);
+  }
+  if (!resolved.trace.empty()) {
+    write_trace_json(resolved.trace, hub, ctx);
+  }
+  if (!resolved.metrics.empty()) {
+    write_metrics_prom(resolved.metrics, hub, gpu, ctx);
+  }
+}
+
+}  // namespace gpusim

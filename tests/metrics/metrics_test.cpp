@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
+#include <limits>
 
 namespace gpusim {
 namespace {
@@ -37,6 +39,45 @@ TEST(MetricsTest, MeanHandlesEmptyAndValues) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
   const std::array<double, 3> v = {1.0, 2.0, 6.0};
   EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(MetricsTest, MeanSkipsNonFiniteSamples) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // An all-NaN span has no usable samples and must behave like empty.
+  const std::array<double, 3> all_nan = {kNaN, kNaN, kNaN};
+  EXPECT_DOUBLE_EQ(mean(all_nan), 0.0);
+  // Mixed spans average only the finite entries — the divisor must be the
+  // finite count, not the span size.
+  const std::array<double, 5> mixed = {kNaN, 2.0, kInf, 4.0, -kInf};
+  EXPECT_DOUBLE_EQ(mean(mixed), 3.0);
+  const std::array<double, 2> one_finite = {kNaN, 7.5};
+  EXPECT_DOUBLE_EQ(mean(one_finite), 7.5);
+}
+
+TEST(MetricsTest, EstimationErrorUndefinedCasesReturnNaN) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // No baseline: a starved app measures actual == 0 (or garbage below it).
+  EXPECT_TRUE(std::isnan(estimation_error(2.0, 0.0)));
+  EXPECT_TRUE(std::isnan(estimation_error(2.0, -1.0)));
+  // Non-finite inputs must not propagate into the error column.
+  EXPECT_TRUE(std::isnan(estimation_error(kNaN, 2.0)));
+  EXPECT_TRUE(std::isnan(estimation_error(2.0, kNaN)));
+  EXPECT_TRUE(std::isnan(estimation_error(kInf, 2.0)));
+  EXPECT_TRUE(std::isnan(estimation_error(2.0, kInf)));
+  // Healthy inputs still produce a finite error.
+  EXPECT_TRUE(std::isfinite(estimation_error(2.0, 1.5)));
+}
+
+TEST(MetricsTest, EstimationErrorNaNSkippedByMean) {
+  // The intended composition: per-interval errors with holes (no baseline
+  // yet) aggregate to the mean of the defined intervals only.
+  const std::array<double, 3> errors = {
+      estimation_error(2.2, 2.0),   // 0.1
+      estimation_error(2.0, 0.0),   // NaN — skipped
+      estimation_error(1.0, 4.0)};  // 0.75
+  EXPECT_NEAR(mean(errors), (0.1 + 0.75) / 2.0, 1e-12);
 }
 
 TEST(MetricsTest, UnfairnessIsScaleInvariant) {

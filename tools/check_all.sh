@@ -37,28 +37,30 @@ step() {
   return "$rc"
 }
 
-step "[1/9] tier-1: configure + build" bash -c \
+step "[1/10] tier-1: configure + build" bash -c \
   "cmake -B build -S . && cmake --build build -j '$JOBS'"
-step "[1/9] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
+step "[1/10] tier-1: ctest" ctest --test-dir build -j "$JOBS" --output-on-failure
 
-step "[2/9] determinism audit" tools/check_determinism.sh build
+step "[2/10] determinism audit" tools/check_determinism.sh build
 
-step "[3/9] chaos campaign" tools/check_chaos.sh build
+step "[3/10] chaos campaign" tools/check_chaos.sh build
 
-step "[4/9] job batches: kill, resume, exit codes" tools/check_jobs.sh build
+step "[4/10] job batches: kill, resume, exit codes" tools/check_jobs.sh build
 
-step "[5/9] crash forensics: bundle + triage" tools/check_triage.sh build
+step "[5/10] crash forensics: bundle + triage" tools/check_triage.sh build
 
-step "[6/9] policy governor: watchdog, breakers, transparency" tools/check_governor.sh build
+step "[6/10] policy governor: watchdog, breakers, transparency" tools/check_governor.sh build
 
-step "[7/9] ASan + UBSan" tools/check_sanitize.sh
+step "[7/10] ASan + UBSan" tools/check_sanitize.sh
 
-step "[8/9] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
+step "[8/10] TSan (worker pool, queue, job manager)" tools/check_tsan.sh
+
+step "[9/10] telemetry: schema, trace, transparency, overhead" tools/check_telemetry.sh build
 
 if [[ "$SKIP_PERF" == "1" ]]; then
-  echo "===== [9/9] perf gate: SKIPPED ====="
+  echo "===== [10/10] perf gate: SKIPPED ====="
 else
-  step "[9/9] perf gate" tools/check_perf.sh build
+  step "[10/10] perf gate" tools/check_perf.sh build
 fi
 
 echo "check_all: OK"

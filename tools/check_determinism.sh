@@ -58,4 +58,49 @@ echo "== snapshot vs plain run output"
        --snapshot-every 20000 --snapshot-dir "$TMP/snaps" > "$TMP/snap.txt"
 diff "$TMP/plain.txt" "$TMP/snap.txt"
 
+# Telemetry determinism: the hub's buffers ride in the SimState walk, so a
+# run killed mid-flight and resumed from its snapshot must rewrite
+# byte-identical JSONL/trace/metrics files.
+echo "== telemetry files: kill + resume vs uninterrupted"
+TCYC=600000
+"$CLI" --apps SD,SA --policy dase-fair --cycles "$TCYC" --alone cached \
+       --telemetry-out "$TMP/ref.jsonl" --trace-out "$TMP/ref.trace" \
+       --metrics-out "$TMP/ref.prom" > /dev/null
+"$CLI" --apps SD,SA --policy dase-fair --cycles "$TCYC" --alone cached \
+       --snapshot-every 50000 --snapshot-dir "$TMP/tsnaps" \
+       --telemetry-out "$TMP/kill.jsonl" --trace-out "$TMP/kill.trace" \
+       --metrics-out "$TMP/kill.prom" > /dev/null 2>&1 &
+CLI_PID=$!
+# Signal as soon as the first snapshot lands so the kill is mid-run.
+for _ in $(seq 1 600); do
+  if ls "$TMP"/tsnaps/*.simstate > /dev/null 2>&1; then
+    kill -TERM "$CLI_PID"
+    break
+  fi
+  kill -0 "$CLI_PID" 2>/dev/null || break
+  sleep 0.05
+done
+wait "$CLI_PID" || true
+"$CLI" --apps SD,SA --policy dase-fair --cycles "$TCYC" --alone cached \
+       --snapshot-every 50000 --snapshot-dir "$TMP/tsnaps" \
+       --telemetry-out "$TMP/kill.jsonl" --trace-out "$TMP/kill.trace" \
+       --metrics-out "$TMP/kill.prom" > /dev/null 2>&1
+cmp "$TMP/ref.jsonl" "$TMP/kill.jsonl"
+cmp "$TMP/ref.trace" "$TMP/kill.trace"
+cmp "$TMP/ref.prom" "$TMP/kill.prom"
+
+# Batch telemetry determinism: per-job files must be byte-identical for
+# any --jobs worker count.
+echo "== batch telemetry files: --jobs 1 vs --jobs 4"
+cat > "$TMP/tel.jobs" <<'EOF'
+run apps=SD,SA policy=dase-fair
+run apps=SN,CT policy=even
+EOF
+"$CLI" --job-file "$TMP/tel.jobs" --manifest "$TMP/tel1.jsonl" --jobs 1 \
+       --telemetry-out "$TMP/teldir" --out "$TMP/tel1.json" > /dev/null 2>&1
+mv "$TMP/teldir" "$TMP/teldir1"
+"$CLI" --job-file "$TMP/tel.jobs" --manifest "$TMP/tel4.jsonl" --jobs 4 \
+       --telemetry-out "$TMP/teldir" --out "$TMP/tel4.json" > /dev/null 2>&1
+diff -r "$TMP/teldir" "$TMP/teldir1"
+
 echo "determinism check: OK"

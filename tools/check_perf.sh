@@ -24,6 +24,11 @@
 #                                     and the governor overhead ratio meets
 #                                     GPUSIM_PERF_MIN_GOVERNOR_RATIO
 #                                     (default 0.98, i.e. <=2% overhead)
+#   GPUSIM_PERF_MIN_TELEMETRY_RATIO   floor for the telemetry hub's
+#                                     attached-vs-absent throughput ratio
+#                                     (default 0.98, i.e. <=2% overhead while
+#                                     no output flag is set; gated even in
+#                                     relative-only mode)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +44,7 @@ TOLERANCE_CONTENDED="${GPUSIM_PERF_TOLERANCE_CONTENDED:-0.10}"
 RELATIVE_ONLY="${GPUSIM_PERF_RELATIVE_ONLY:-0}"
 MIN_SPEEDUP="${GPUSIM_PERF_MIN_SPEEDUP:-1.2}"
 MIN_GOVERNOR_RATIO="${GPUSIM_PERF_MIN_GOVERNOR_RATIO:-0.98}"
+MIN_TELEMETRY_RATIO="${GPUSIM_PERF_MIN_TELEMETRY_RATIO:-0.98}"
 BASELINE="BENCH_throughput.json"
 FRESH="$BUILD_DIR/BENCH_throughput.json"
 
@@ -63,6 +69,8 @@ for key in sim_cycles_per_sec_fast_forward sim_cycles_per_sec_no_fast_forward \
            contended_activity_speedup contended_fast_forwarded_fraction \
            governor_on_cycles_per_sec governor_off_cycles_per_sec \
            governor_overhead_ratio \
+           telemetry_on_cycles_per_sec telemetry_off_cycles_per_sec \
+           telemetry_overhead_ratio \
            profile_sm_advance_ns profile_partition_ns profile_total_ns; do
   if [[ -z "$(json_key "$FRESH" "$key")" ]]; then
     echo "FAIL: key $key missing from fresh measurement"
@@ -92,6 +100,19 @@ if [[ "$ok" == 1 ]]; then
   echo "OK:   governor_overhead_ratio ${gov_ratio} (floor ${MIN_GOVERNOR_RATIO})"
 else
   echo "FAIL: governor_overhead_ratio ${gov_ratio} below floor ${MIN_GOVERNOR_RATIO}"
+  fail=1
+fi
+
+# The telemetry hub's disabled-path cost is likewise host-independent (same
+# binary, same co-run, hub attached vs absent), so the <=2% contract
+# (DESIGN.md §15) is gated even in relative-only mode.
+tel_ratio=$(json_key "$FRESH" telemetry_overhead_ratio)
+ok=$(awk -v r="${tel_ratio:-0}" -v min="$MIN_TELEMETRY_RATIO" \
+     'BEGIN { print (r >= min) ? 1 : 0 }')
+if [[ "$ok" == 1 ]]; then
+  echo "OK:   telemetry_overhead_ratio ${tel_ratio} (floor ${MIN_TELEMETRY_RATIO})"
+else
+  echo "FAIL: telemetry_overhead_ratio ${tel_ratio} below floor ${MIN_TELEMETRY_RATIO}"
   fail=1
 fi
 

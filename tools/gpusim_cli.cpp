@@ -53,6 +53,7 @@
 #include "harness/triage.hpp"
 #include "kernels/app_registry.hpp"
 #include "sched/governor.hpp"
+#include "telemetry/hub.hpp"
 
 namespace {
 
@@ -212,7 +213,8 @@ int run_sweep(const std::string& which, const RunConfig& rc,
 
 int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
               bool recovery, bool minimize, const std::string& checkpoint,
-              const std::string& bundle_dir, const std::string& out_path) {
+              const std::string& bundle_dir, const std::string& telemetry_dir,
+              const std::string& out_path) {
   ChaosOptions opts;
   opts.gpu = rc.gpu;
   opts.schedules = schedules;
@@ -226,6 +228,7 @@ int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
   opts.base_seed = rc.base_seed;
   opts.cancel = shutdown_flag();
   opts.crash_bundle_dir = bundle_dir;
+  opts.telemetry_dir = telemetry_dir;
   const ChaosReport report = run_chaos_campaign(opts);
   if (shutdown_requested()) {
     std::cerr << "gpusim: chaos campaign interrupted — finished schedules "
@@ -260,7 +263,7 @@ int run_chaos(const RunConfig& rc, int schedules, u64 chaos_seed, int jobs,
 
 int run_replay(const RunConfig& rc, const Workload& workload,
                PolicyKind policy, const std::string& spec, bool recovery,
-               const char* argv0) {
+               const std::string& telemetry_dir, const char* argv0) {
   if (policy != PolicyKind::kEven && policy != PolicyKind::kDaseFair) {
     usage(argv0, "--fault-schedule replay supports --policy even|dase-fair");
   }
@@ -271,6 +274,9 @@ int run_replay(const RunConfig& rc, const Workload& workload,
   opts.governor = rc.governor;
   opts.base_seed = rc.base_seed;
   opts.crash_bundle_dir = rc.crash_bundle_dir;
+  // A replay routes through the chaos engine, so --telemetry-out behaves
+  // like the chaos-mode directory form here too.
+  opts.telemetry_dir = telemetry_dir;
   const FaultSchedule schedule = FaultSchedule::parse(spec);
   const ChaosJobResult r = run_chaos_job(
       opts, workload, policy == PolicyKind::kDaseFair, schedule);
@@ -340,6 +346,14 @@ struct AuditSim {
     governor = std::make_unique<PolicyGovernor>(
         GovernorOptions::from_config(rc.gpu, rc.governor), dase.get());
     sim->add_observer(governor.get());
+    // Hub last, mirroring assemble_corun: the audit then also compares
+    // TelemetryHub state (records, drained flight-recorder events) between
+    // the two engine configurations, so telemetry nondeterminism would
+    // surface here as a divergence.
+    telemetry = std::make_unique<TelemetryHub>(
+        std::vector<TelemetryEstimatorTap>{{"DASE", dase.get()}},
+        [g = governor.get()]() { return g->interventions(); });
+    sim->add_observer(telemetry.get());
     if (rc.faults.any()) {
       // Auditing under faults: both runs arm identical injectors, so the
       // fault decisions (and the injector's serialized counters) must
@@ -350,6 +364,7 @@ struct AuditSim {
   }
   std::unique_ptr<DaseModel> dase;
   std::unique_ptr<PolicyGovernor> governor;
+  std::unique_ptr<TelemetryHub> telemetry;
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<Simulation> sim;
 };
@@ -421,6 +436,9 @@ int main(int argc, char** argv) {
   bool have_bundle_dir = false;
   bool no_bundle = false;
   std::string triage_bundle;
+  std::string telemetry_out;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -608,6 +626,15 @@ int main(int argc, char** argv) {
       case FlagId::kTriage:
         triage_bundle = value;
         break;
+      case FlagId::kTelemetryOut:
+        telemetry_out = value;
+        break;
+      case FlagId::kTraceOut:
+        trace_out = value;
+        break;
+      case FlagId::kMetricsOut:
+        metrics_out = value;
+        break;
       case FlagId::kDumpConfig:
         write_config(std::cout, GpuConfig{});
         return 0;
@@ -700,6 +727,28 @@ int main(int argc, char** argv) {
           "--profile-loop applies to plain single runs (use the bench "
           "binary for profiled batch scenarios)");
   }
+  // Telemetry flag shapes: --telemetry-out is a file for single runs and a
+  // directory for batch modes; the trace and metrics exports are
+  // single-output files, so batch modes reject them (their per-unit traces
+  // come from the --telemetry-out directory instead).
+  const bool batch_mode =
+      jobs_mode || chaos_schedules > 0 || !sweep_which.empty();
+  const bool replay_mode = !fault_spec.empty() && !audit_determinism;
+  if (!trace_out.empty() && (batch_mode || replay_mode)) {
+    usage(argv[0],
+          "--trace-out applies to single --apps runs and --triage; batch "
+          "modes and --fault-schedule replays take --telemetry-out DIR and "
+          "write per-unit trace files there");
+  }
+  if (!metrics_out.empty() &&
+      (batch_mode || replay_mode || !triage_bundle.empty())) {
+    usage(argv[0], "--metrics-out applies to single --apps runs only");
+  }
+  if (!triage_bundle.empty() && !telemetry_out.empty()) {
+    usage(argv[0],
+          "--triage replays a bundle's recorded telemetry; it only exports "
+          "a trace (--trace-out)");
+  }
 
   // Crash forensics: runs, sweeps, --fault-schedule replays and job
   // batches bundle any terminal SimError under bundle_dir by default
@@ -718,7 +767,7 @@ int main(int argc, char** argv) {
 
   try {
     if (!triage_bundle.empty()) {
-      return run_triage(triage_bundle, std::cout);
+      return run_triage(triage_bundle, std::cout, trace_out);
     }
     if (jobs_mode) {
       JobManagerOptions jm;
@@ -740,6 +789,7 @@ int main(int argc, char** argv) {
       jm.cancel = shutdown_flag();
       jm.verbose = true;
       jm.crash_bundle_dir = rc.crash_bundle_dir;
+      jm.telemetry_dir = telemetry_out;
       return run_jobs(jm, job_file,
                       have_out ? out_path : "jobs_report.json");
     }
@@ -750,6 +800,7 @@ int main(int argc, char** argv) {
                        sweep_opts.checkpoint_path,
                        have_bundle_dir && !no_bundle ? bundle_dir
                                                      : std::string(),
+                       telemetry_out,
                        have_out ? out_path : "chaos_report.json");
     }
     if (!sweep_which.empty()) {
@@ -759,6 +810,7 @@ int main(int argc, char** argv) {
       // Sweeps use the cached alone IPC like the bench binaries do.
       rc.alone_mode = RunConfig::AloneMode::kCachedIpc;
       rc.crash_bundle_mode = "sweep";
+      rc.telemetry.dir = telemetry_out;  // per-pair files under the directory
       return run_sweep(sweep_which, rc, models, sweep_opts, out_path,
                        argv[0]);
     }
@@ -791,11 +843,14 @@ int main(int argc, char** argv) {
     }
     if (!fault_spec.empty()) {
       return run_replay(rc, workload, policy, fault_spec, chaos_recovery,
-                        argv[0]);
+                        telemetry_out, argv[0]);
     }
 
     LoopProfiler profiler;
     if (profile_loop) rc.profiler = &profiler;
+    rc.telemetry.series = telemetry_out;
+    rc.telemetry.trace = trace_out;
+    rc.telemetry.metrics = metrics_out;
     ExperimentRunner runner(rc);
     const CoRunResult result = runner.run(workload, models, policy,
                                           have_split ? &split : nullptr);
